@@ -1,0 +1,149 @@
+"""Section 4.3 / 4.2 ablations: bandwidth tiers, halved bus, broken
+inclusion, and the analytic replication thresholds."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.analytic.replication import paper_thresholds
+from repro.experiments.ablations import (
+    format_replication_thresholds,
+    run_bandwidth_ablation,
+    run_bus_ablation,
+    run_consistency_ablation,
+    run_inclusion_ablation,
+    run_numa_comparison,
+)
+
+BANDWIDTH_APPS = ["lu_noncontig", "radix", "ocean_noncontig", "fft", "water_sp", "barnes"]
+
+
+def test_ablation_bandwidth(benchmark, bench_scale, results_dir):
+    """"It is therefore of prime importance that the nodes are designed to
+    tolerate the increased attraction memory load" — more AM/NC bandwidth
+    must monotonically improve clustering's relative performance."""
+    rows = benchmark.pedantic(
+        run_bandwidth_ablation,
+        kwargs={"workloads": BANDWIDTH_APPS, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Bandwidth ablation at 50% MP: 4-way clustering slowdown vs 1p"]
+    for r in rows:
+        lines.append(f"  {r.app:16s} {r.tier:16s} {r.slowdown_4p:6.3f}x")
+    text = "\n".join(lines)
+    write_result(results_dir, "ablation_bandwidth.txt", text)
+    print()
+    print(text)
+
+    by_app: dict[str, dict[str, float]] = {}
+    for r in rows:
+        by_app.setdefault(r.app, {})[r.tier] = r.slowdown_4p
+    improved = sum(
+        1
+        for app, tiers in by_app.items()
+        if tiers["4x dram + 2x nc"] <= tiers["1x dram"] + 0.02
+    )
+    assert improved >= len(by_app) - 1, "more node bandwidth helps clustering"
+
+
+def test_ablation_bus_halved(benchmark, bench_scale, results_dir):
+    """"if the global bus bandwidth is halved, clustering becomes even
+    more efficient since the penalty for remote accesses is increased"."""
+    rows = benchmark.pedantic(
+        run_bus_ablation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    lines = ["Bus ablation at 50% MP (2x DRAM): 4p/1p time ratio"]
+    for r in rows:
+        lines.append(
+            f"  {r.app:16s} full bus {r.slowdown_full_bus:6.3f}x"
+            f"   half bus {r.slowdown_half_bus:6.3f}x"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "ablation_bus.txt", text)
+    print()
+    print(text)
+    assert sum(1 for r in rows if r.clustering_gains_more) >= len(rows) - 1
+
+
+def test_ablation_inclusion(benchmark, bench_scale, results_dir):
+    """Section 4.2: breaking the inclusion overcomes the replication-space
+    limitation — traffic at 87.5 % MP must not increase, and should
+    decrease for the conflict-bound applications."""
+    rows = benchmark.pedantic(
+        run_inclusion_ablation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    lines = ["Inclusion ablation at 87.5% MP, 4p nodes: total traffic"]
+    for r in rows:
+        lines.append(
+            f"  {r.app:14s} inclusive {r.traffic_inclusive / 1024:8.1f}K"
+            f" -> non-inclusive {r.traffic_noninclusive / 1024:8.1f}K"
+            f" ({100 * r.reduction:+5.1f}%)"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "ablation_inclusion.txt", text)
+    print()
+    print(text)
+    assert sum(1 for r in rows if r.reduction > -0.05) >= len(rows) - 1
+
+
+def test_replication_thresholds(benchmark, results_dir):
+    """Closed-form thresholds must match the paper's quoted numbers."""
+    th = benchmark(paper_thresholds)
+    assert float(th["16 nodes, 4-way"]) * 100 == 76.5625
+    assert round(float(th["16 nodes, 8-way"]) * 100, 1) == 88.3
+    assert float(th["4 nodes, 4-way"]) * 100 == 81.25
+    assert round(float(th["4 nodes, 8-way"]) * 100, 1) == 90.6
+    text = format_replication_thresholds()
+    write_result(results_dir, "replication_thresholds.txt", text)
+    print()
+    print(text)
+
+
+def test_ablation_consistency(benchmark, bench_scale, results_dir):
+    """"A release consistency model with a 10 entry write buffer has been
+    assumed" (section 3.2) — quantify what that assumption buys over
+    sequential consistency, and what coalescing would add."""
+    rows = benchmark.pedantic(
+        run_consistency_ablation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    lines = ["Consistency ablation at 50% MP (1p nodes): execution time"]
+    for r in rows:
+        lines.append(
+            f"  {r.app:16s} RC {r.time_rc / 1e6:8.3f}ms"
+            f"  SC {r.time_sc / 1e6:8.3f}ms ({r.sc_slowdown:5.2f}x)"
+            f"  RC+coalesce {r.time_rc_coalescing / 1e6:8.3f}ms"
+            f" ({r.coalesced_writes} merged)"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "ablation_consistency.txt", text)
+    print()
+    print(text)
+    # RC buys real time wherever the write buffer keeps up.  Where a pure
+    # write burst saturates it (radix's permutation), RC degenerates to
+    # roughly SC's rate — the classic RC caveat for write-throughput-bound
+    # phases — and the deep posted-write queues can even cost a little.
+    assert any(r.sc_slowdown > 1.05 for r in rows), "RC must buy real time"
+    assert all(r.sc_slowdown >= 0.90 for r in rows), (
+        "SC must never win by a wide margin"
+    )
+    assert all(r.time_rc_coalescing <= r.time_rc * 1.05 for r in rows)
+
+
+def test_numa_baseline(benchmark, bench_scale, results_dir):
+    """COMA's migration/replication converts repeated remote misses into
+    local hits: bus traffic must beat the CC-NUMA baseline."""
+    rows = benchmark.pedantic(
+        run_numa_comparison, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    lines = ["COMA vs CC-NUMA at 50% MP (1 processor/node): bus traffic"]
+    for r in rows:
+        lines.append(
+            f"  {r.app:16s} coma {r.coma_traffic / 1024:8.1f}K"
+            f"  numa {r.numa_traffic / 1024:8.1f}K"
+            f"  (numa/coma {r.traffic_ratio:5.2f}x)"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "numa_baseline.txt", text)
+    print()
+    print(text)
+    assert sum(1 for r in rows if r.traffic_ratio > 1.0) >= len(rows) - 1

@@ -1,0 +1,31 @@
+"""Figure 2: relative read node miss rate at 6.25 % memory pressure.
+
+Paper shape to reproduce: clustering reduces the RNMr for **all** 14
+applications; the averages are ~82 % (2-way) and ~62 % (4-way).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.experiments.figure2 import averages, format_figure2, run_figure2
+
+
+def test_figure2(benchmark, bench_scale, results_dir):
+    rows = benchmark.pedantic(
+        run_figure2, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    assert len(rows) == 14
+    text = format_figure2(rows)
+    write_result(results_dir, "figure2.txt", text)
+    print()
+    print(text)
+
+    # Shape assertions (who wins, roughly by how much):
+    reduced_2 = sum(1 for r in rows if r.relative_2 < 1.0)
+    reduced_4 = sum(1 for r in rows if r.relative_4 < 1.0)
+    assert reduced_4 >= 12, "4-way clustering cuts RNMr for ~all apps"
+    assert reduced_2 >= 11, "2-way clustering cuts RNMr for ~all apps"
+    a2, a4 = averages(rows)
+    assert a4 < a2 < 1.0, "4-way gains exceed 2-way gains on average"
+    assert 0.35 <= a4 <= 0.90, f"4-way average {a4:.2f} vs paper's ~0.62"
+    assert 0.50 <= a2 <= 0.97, f"2-way average {a2:.2f} vs paper's ~0.82"

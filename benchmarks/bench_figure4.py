@@ -1,0 +1,65 @@
+"""Figure 4: the six conflict-sensitive applications, with 8-way AMs at
+87.5 % memory pressure.
+
+Paper shape: up to 81.25 % MP these applications behave like the Figure-3
+group; at 87.5 % MP clustering no longer reduces traffic efficiently, and
+8-way associativity removes most of the blow-up (except LU-contig, where
+it explains only part).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.experiments.common import FIGURE4_APPS
+from repro.experiments.figure4 import (
+    conflict_miss_fractions,
+    conflict_summaries,
+    format_figure4,
+    run_figure4,
+)
+
+
+def test_figure4(benchmark, bench_scale, results_dir):
+    sweep = benchmark.pedantic(
+        run_figure4, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    text = format_figure4(sweep)
+    write_result(results_dir, "figure4.txt", text)
+    print()
+    print(text)
+
+    # Clustering keeps winning at 81% MP for most of the group...
+    wins81 = sum(
+        1
+        for app in FIGURE4_APPS
+        if sweep.get(app, 4, "81%").total <= sweep.get(app, 1, "81%").total * 1.1
+    )
+    assert wins81 >= 4, f"clustering should still help at 81% MP (got {wins81}/6)"
+
+    # ...but at 87.5% MP the blow-up sets in: traffic grows sharply from 81%.
+    blowups = sum(
+        1
+        for app in FIGURE4_APPS
+        if sweep.get(app, 4, "87%").total > 1.3 * sweep.get(app, 4, "81%").total
+    )
+    assert blowups >= 4, f"expected a 87% MP traffic blow-up (got {blowups}/6)"
+
+    # 8-way associativity tames it for most apps.
+    tamed = sum(1 for s in conflict_summaries(sweep, ppn=4) if s.reduction > 0.10)
+    assert tamed >= 4, f"8-way AMs should remove most of the blow-up ({tamed}/6)"
+
+
+def test_conflict_misses_are_the_diagnosis(benchmark, bench_scale, results_dir):
+    """The paper attributes the blow-up to conflict misses; our shadow-tag
+    classification should agree for the majority of the group."""
+    fractions = benchmark.pedantic(
+        conflict_miss_fractions, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    text = "Conflict fraction of read node misses at 87.5% MP (4p nodes):\n" + "\n".join(
+        f"  {app:14s} {100 * frac:5.1f}%" for app, frac in fractions.items()
+    )
+    write_result(results_dir, "figure4_conflicts.txt", text)
+    print()
+    print(text)
+    significant = sum(1 for f in fractions.values() if f > 0.15)
+    assert significant >= 4, "conflict misses dominate the high-MP misses"

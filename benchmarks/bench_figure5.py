@@ -1,0 +1,47 @@
+"""Figure 5: execution-time breakdown at doubled DRAM bandwidth.
+
+Paper shape: raising memory pressure from 50 % to 81.25 % slows the
+1-processor-node machine (remote stall grows); 4-way clustering at
+81.25 % MP recovers most of that penalty for all applications except the
+intra-node-contention-bound ones (LU-noncontig, Radix).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.experiments.figure5 import clustering_recovers, format_figure5, run_figure5
+from repro.workloads.registry import paper_workloads
+
+
+def test_figure5(benchmark, bench_scale, results_dir):
+    bars = benchmark.pedantic(
+        run_figure5, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    text = format_figure5(bars)
+    write_result(results_dir, "figure5.txt", text)
+    print()
+    print(text)
+
+    apps = paper_workloads()
+    by = {(b.app, b.label): b for b in bars}
+
+    # Memory pressure hurts the unclustered machine for most applications.
+    hurt = sum(
+        1 for a in apps if by[(a, "1p 81%")].total > by[(a, "1p 50%")].total * 1.02
+    )
+    assert hurt >= 8, f"81% MP should slow the 1p machine broadly ({hurt}/14)"
+
+    # Clustering recovers the penalty for the large majority (paper: 13/14).
+    recovered = sum(1 for a in apps if clustering_recovers(bars, a))
+    assert recovered >= 9, f"clustering recovered only {recovered}/14 apps"
+
+    # The remote-stall component specifically shrinks under clustering.
+    remote_shrunk = sum(
+        1
+        for a in apps
+        if by[(a, "4p 81%")].breakdown["remote"]
+        <= by[(a, "1p 81%")].breakdown["remote"] * 1.02
+    )
+    assert remote_shrunk >= 10, (
+        f"remote stall should shrink with clustering ({remote_shrunk}/14)"
+    )

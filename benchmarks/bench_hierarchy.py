@@ -1,0 +1,60 @@
+"""Extension bench: hierarchical (DDM-style) COMA vs the paper's flat
+bus with clustered nodes.
+
+Two ways to exploit locality beyond a flat 16-node bus: share each
+attraction memory among 4 processors (the paper's clustering), or keep
+1-processor nodes but group them under a bus hierarchy (the DDM lineage,
+the paper's reference [6]).  Both should cut global (top-level) traffic
+relative to the flat 16-node machine.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.experiments.runner import RunSpec, build_simulation
+
+APPS = ["ocean_contig", "water_sp", "barnes", "fft"]
+MP = 8 / 16
+
+
+def _global_traffic(spec: RunSpec) -> tuple[int, int]:
+    sim = build_simulation(spec)
+    res = sim.run()
+    machine = sim.machine
+    top = getattr(machine, "top_bus_bytes", res.total_traffic_bytes)
+    return top, res.elapsed_ns
+
+
+def test_hierarchy_vs_clustering(benchmark, bench_scale, results_dir):
+    def sweep():
+        out = {}
+        for app in APPS:
+            base = RunSpec(workload=app, memory_pressure=MP, scale=bench_scale)
+            out[app] = {
+                "flat 16x1p": _global_traffic(base),
+                "clustered 4x4p": _global_traffic(base.with_(procs_per_node=4)),
+                "hierarchical 4 groups": _global_traffic(
+                    base.with_(machine="hcoma", hierarchy_groups=4)
+                ),
+            }
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Global (top-level) traffic: flat vs clustered vs hierarchical"]
+    for app, rows in data.items():
+        lines.append(f"  {app}")
+        for label, (traffic, elapsed) in rows.items():
+            lines.append(
+                f"    {label:22s} {traffic / 1024:9.1f}K  {elapsed / 1e6:8.3f}ms"
+            )
+    text = "\n".join(lines)
+    write_result(results_dir, "hierarchy_vs_clustering.txt", text)
+    print()
+    print(text)
+
+    for app, rows in data.items():
+        flat = rows["flat 16x1p"][0]
+        hier = rows["hierarchical 4 groups"][0]
+        clus = rows["clustered 4x4p"][0]
+        assert hier < flat, f"{app}: hierarchy must off-load the top bus"
+        assert clus < flat * 1.05, f"{app}: clustering must cut global traffic"

@@ -1,0 +1,83 @@
+"""Microbenchmarks of the simulator itself (real pytest-benchmark timing):
+per-operation cost of the hot machine paths and the full event loop."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import RunSpec, build_simulation
+from tests.conftest import make_machine
+
+LINE = 64
+
+
+def test_micro_l1_hit_path(benchmark):
+    m = make_machine(am_sets=64)
+    m.read(0, 0, 0)
+
+    def hot():
+        t = 0
+        for _ in range(1000):
+            t, _ = m.read(0, 0, t + 10)
+        return t
+
+    benchmark(hot)
+
+
+def test_micro_am_hit_path(benchmark):
+    m = make_machine(am_sets=64, slc_lines=2, l1_lines=1, slc_assoc=1)
+    for ln in range(16):
+        m.read(0, ln * LINE, ln * 1000)
+
+    def hot():
+        t = 100_000
+        # Cycle through more lines than the tiny SLC holds: AM hits.
+        for k in range(1000):
+            t, _ = m.read(0, (k % 16) * LINE, t + 10)
+        return t
+
+    benchmark(hot)
+
+
+def test_micro_remote_path(benchmark):
+    m = make_machine(n_processors=4, procs_per_node=1, am_sets=64)
+
+    def hot():
+        t = 0
+        for k in range(300):
+            line = k % 32
+            m.write(0, line * LINE, t)           # node 0 takes ownership
+            t, _ = m.read(3, line * LINE, t + 1000)  # node 3 remote-reads
+            t += 1000
+        return t
+
+    benchmark(hot)
+
+
+def test_micro_replacement_storm(benchmark):
+    """Single-way sets at machine-wide conflict: every allocation runs the
+    accept-based replacement machinery."""
+
+    def storm():
+        m = make_machine(
+            n_processors=4, procs_per_node=1, am_sets=2, am_assoc=1,
+            slc_lines=2, l1_lines=1, page_size=64,
+        )
+        t = 0
+        for k in range(200):
+            m.write(k % 4, (k % 24) * LINE, t)
+            t += 500
+        return m
+
+    m = benchmark(storm)
+    assert m.owned_line_count() == len(m.lines)
+
+
+def test_micro_event_loop_throughput(benchmark):
+    """End-to-end events/second through the simulation kernel."""
+
+    def run():
+        sim = build_simulation(RunSpec(workload="synth_private", scale=0.25))
+        res = sim.run()
+        return sim.events_processed, res
+
+    events, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events > 10_000

@@ -1,0 +1,20 @@
+"""Table 1: applications and working sets."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark, bench_scale, results_dir):
+    rows = benchmark.pedantic(
+        run_table1, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    assert len(rows) == 14, "one row per Table 1 application"
+    # Water carries the smallest working set, as in the paper.
+    smallest = min(rows, key=lambda r: r.our_ws_bytes)
+    assert smallest.app.startswith("water")
+    text = format_table1(rows)
+    write_result(results_dir, "table1.txt", text)
+    print()
+    print(text)

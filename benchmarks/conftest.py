@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Figure benchmarks simulate many (workload x clustering x pressure) points;
+results are cached in ``.repro_cache/`` so re-running a bench after the
+first time is cheap.  Control knobs:
+
+* ``REPRO_BENCH_SCALE``   — problem-size multiplier (default 1.0);
+* ``REPRO_NO_DISK_CACHE`` — set to disable the disk cache.
+
+Every figure/table bench writes its rendered output to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Phase-resolved traffic: watch a workload's communication structure.
+
+Run with::
+
+    python examples/phase_timeline.py [workload]
+
+Attaches the traffic-timeline profiler and renders bus bandwidth over
+simulated time.  FFT shows its transpose bursts separated by quiet
+compute phases; radix shows the histogram / permute alternation; ocean
+shows the steady heartbeat of stencil sweeps with multigrid dips.
+"""
+
+import sys
+
+from repro.experiments.runner import RunSpec, build_simulation
+from repro.stats.profiler import SharingProfiler, format_profile
+from repro.stats.timeline import CompositeProfiler, TrafficTimeline, format_timeline
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    timeline = TrafficTimeline()
+    sharing = SharingProfiler()
+    sim = build_simulation(RunSpec(workload=workload, memory_pressure=0.5))
+    sim.profiler = CompositeProfiler([timeline, sharing])
+    sim.profile_every = 4000
+    result = sim.run()
+    timeline.sample(sim.machine)
+    sharing.sample(sim.machine)
+
+    print(f"workload: {workload}  (elapsed {result.elapsed_ns / 1e6:.3f} ms, "
+          f"traffic {result.total_traffic_bytes / 1024:.1f} KiB)\n")
+    print(format_timeline(timeline))
+    peak = timeline.peak_window()
+    if peak is not None:
+        print(f"\npeak bandwidth window: {peak.start_ns / 1e6:.3f}-"
+              f"{peak.end_ns / 1e6:.3f} ms at "
+              f"{peak.bandwidth_bytes_per_us:.1f} B/us")
+    print()
+    print(format_profile(sharing.report()))
+
+
+if __name__ == "__main__":
+    main()

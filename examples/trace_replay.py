@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Trace-driven simulation: capture once, replay against many machines.
+
+Run with::
+
+    python examples/trace_replay.py
+
+Captures the reference stream of a workload to a compressed ``.npz``
+trace, then replays the same trace against machines with different
+attraction-memory associativity — the classic trace-driven methodology
+(fast to sweep, but the interleaving is frozen at capture time; see
+``repro.trace`` for the caveat).
+"""
+
+import tempfile
+from fractions import Fraction
+from pathlib import Path
+
+from repro.coma.machine import ComaMachine
+from repro.common.config import MachineConfig
+from repro.mem.address import AddressSpace
+from repro.sim.simulator import Simulation
+from repro.sync.primitives import SyncSpace
+from repro.trace.capture import capture_trace
+from repro.trace.replay import replay_programs
+from repro.trace.store import load_trace, save_trace
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    name, scale = "synth_hotspot", 1.0
+
+    # 1. Capture.
+    wl = get_workload(name, scale=scale)
+    space = AddressSpace(page_size=2048)
+    wl.allocate(space)
+    trace = capture_trace(wl, space)
+    path = Path(tempfile.gettempdir()) / "hotspot.npz"
+    save_trace(trace, path)
+    print(
+        f"captured {trace.total_events} events from {name} "
+        f"-> {path} ({path.stat().st_size / 1024:.1f} KiB)"
+    )
+
+    # 2. Replay against different AM associativities at high pressure.
+    print("\nreplay at 87.5% memory pressure, 4 processors/node:")
+    for assoc in (1, 2, 4, 8):
+        trace2 = load_trace(path)
+        wl2 = get_workload(name, scale=scale)
+        space2 = AddressSpace(page_size=2048)
+        wl2.allocate(space2)
+        sync = SyncSpace(space2, 64, wl2.n_locks, wl2.n_barriers)
+        config = MachineConfig(
+            procs_per_node=4,
+            am_assoc=assoc,
+            memory_pressure=Fraction(14, 16),
+        ).sized_for(space2.allocated_bytes)
+        machine = ComaMachine(config, space2)
+        res = Simulation(machine, replay_programs(trace2), sync).run()
+        conflict = res.miss_class_fractions["conflict"]
+        print(
+            f"  {assoc}-way AM: RNMr {100 * res.read_node_miss_rate:6.2f}%  "
+            f"conflict misses {100 * conflict:5.1f}%  "
+            f"traffic {res.total_traffic_bytes / 1024:8.1f} KiB"
+        )
+    print("\nHigher associativity absorbs the hot set: exactly the paper's")
+    print("section-4.2 mechanism, isolated on a synthetic stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a cluster-based COMA multiprocessor simulator.
+
+Reproduction of Landin & Karlgren, "A Study of the Efficiency of Shared
+Attraction Memories in Cluster-Based COMA Multiprocessors" (IPPS 1997).
+
+Quickstart::
+
+    from repro import RunSpec, run_spec
+
+    result = run_spec(RunSpec(workload="fft", procs_per_node=4,
+                              memory_pressure=13 / 16))
+    print(result.read_node_miss_rate, result.traffic_bytes)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+from repro.common.config import (
+    CacheGeometry,
+    MachineConfig,
+    TimingConfig,
+    PAPER_MEMORY_PRESSURES,
+)
+from repro.coma.machine import ComaMachine
+from repro.experiments.runner import RunSpec, build_simulation, run_spec
+from repro.mem.address import AddressSpace
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulation
+from repro.workloads.registry import get_workload, paper_workloads, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "MachineConfig",
+    "TimingConfig",
+    "PAPER_MEMORY_PRESSURES",
+    "ComaMachine",
+    "RunSpec",
+    "build_simulation",
+    "run_spec",
+    "AddressSpace",
+    "SimulationResult",
+    "Simulation",
+    "get_workload",
+    "paper_workloads",
+    "workload_names",
+    "__version__",
+]

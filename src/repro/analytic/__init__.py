@@ -1,0 +1,21 @@
+"""Closed-form models from the paper's analysis sections."""
+
+from repro.analytic.replication import (
+    replication_threshold,
+    paper_thresholds,
+    max_replication_degree,
+)
+from repro.analytic.memorypressure import (
+    total_am_bytes,
+    am_bytes_per_node,
+    pressure_for_fill,
+)
+
+__all__ = [
+    "replication_threshold",
+    "paper_thresholds",
+    "max_replication_degree",
+    "total_am_bytes",
+    "am_bytes_per_node",
+    "pressure_for_fill",
+]

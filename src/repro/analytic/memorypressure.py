@@ -1,0 +1,40 @@
+"""Memory-pressure arithmetic (paper section 2).
+
+``MP = working_set / total_attraction_memory``; the OS can set it by
+choosing how many physical pages back the application.  These helpers
+invert the relation for machine sizing and express the paper's "a single
+copy of the working set entirely fills k of the 16 attraction memories"
+methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+
+def total_am_bytes(working_set_bytes: int, pressure: Fraction | float) -> int:
+    """Total attraction memory needed for a working set at a pressure."""
+    if working_set_bytes <= 0:
+        raise ValueError("working set must be positive")
+    p = float(pressure)
+    if not 0 < p <= 1:
+        raise ValueError("pressure must be in (0, 1]")
+    return int(math.ceil(working_set_bytes / p))
+
+
+def am_bytes_per_node(
+    working_set_bytes: int, pressure: Fraction | float, n_nodes: int
+) -> int:
+    """Per-node attraction memory under an even split."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    return total_am_bytes(working_set_bytes, pressure) // n_nodes
+
+
+def pressure_for_fill(filled_nodes: int, n_nodes: int) -> Fraction:
+    """The paper's methodology: the pressure at which one copy of the
+    working set entirely fills ``filled_nodes`` of ``n_nodes`` AMs."""
+    if not 1 <= filled_nodes <= n_nodes:
+        raise ValueError("filled_nodes must be in [1, n_nodes]")
+    return Fraction(filled_nodes, n_nodes)

@@ -1,0 +1,53 @@
+"""Replication-space thresholds (paper section 4.2).
+
+"It is interesting to note that for single processor nodes with 4-way
+associative attraction memories, above 76.5% MP (49/64) there is no longer
+space to replicate a cache line over all the 16 nodes, while 8-way
+associativity moves this threshold to 88.2% MP (113/128).  With
+four-processor clusters, the corresponding levels are 81.25% MP (13/16)
+and 90.6% MP (29/32)."
+
+Derivation: consider the machine-wide ways available to one set index:
+``W = n_nodes * assoc`` (every node's AM has the same geometry, so a line
+maps to the same set index everywhere).  At memory pressure MP, unique
+(owner) lines fill ``MP * W`` of those ways on average.  Replicating one
+line into *all* nodes requires its owner way plus ``n_nodes - 1`` sharer
+ways, i.e. ``n_nodes - 1`` free ways.  The threshold is therefore::
+
+    MP* = (W - (n_nodes - 1)) / W
+
+which reproduces all four of the paper's numbers exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+
+def replication_threshold(n_nodes: int, assoc: int) -> Fraction:
+    """Memory pressure above which a line cannot be replicated in every
+    node of the machine."""
+    if n_nodes < 1 or assoc < 1:
+        raise ValueError("n_nodes and assoc must be >= 1")
+    ways = n_nodes * assoc
+    return Fraction(ways - (n_nodes - 1), ways)
+
+
+def max_replication_degree(n_nodes: int, assoc: int, pressure: Fraction) -> int:
+    """Largest number of copies of one line that fit at ``pressure``.
+
+    Counts the owner copy; capped at ``n_nodes`` (one copy per node).
+    """
+    ways = n_nodes * assoc
+    free = ways - int(pressure * ways)
+    return max(1, min(n_nodes, free + 1))
+
+
+def paper_thresholds() -> dict[str, Fraction]:
+    """The four configurations quoted in section 4.2."""
+    return {
+        "16 nodes, 4-way": replication_threshold(16, 4),   # 49/64 = 76.5%
+        "16 nodes, 8-way": replication_threshold(16, 8),   # 113/128 = 88.3%
+        "4 nodes, 4-way": replication_threshold(4, 4),     # 13/16 = 81.25%
+        "4 nodes, 8-way": replication_threshold(4, 8),     # 29/32 = 90.6%
+    }

@@ -1,0 +1,6 @@
+"""The global split-transaction snooping bus."""
+
+from repro.bus.transaction import TxClass, TxKind, message_bytes
+from repro.bus.sharedbus import SharedBus
+
+__all__ = ["TxClass", "TxKind", "message_bytes", "SharedBus"]

@@ -1,0 +1,56 @@
+"""Global shared bus: a contended resource plus per-class traffic meters.
+
+The remote-access path occupies the bus "2 times 20 ns" (request and reply
+phases, paper section 3.2).  The *bus bandwidth halved* ablation of
+section 4.3 doubles the per-phase occupancy while the latency contribution
+stays at 20 ns per phase.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import TxClass, TxKind, message_bytes
+from repro.common.config import TimingConfig
+from repro.timing.resource import Resource
+
+
+class SharedBus:
+    """Split-transaction snooping bus shared by all nodes."""
+
+    def __init__(self, timing: TimingConfig, line_size: int) -> None:
+        self.timing = timing
+        self.line_size = line_size
+        self.resource = Resource("bus")
+        self.tx_count: dict[TxClass, int] = {c: 0 for c in TxClass}
+        self.tx_bytes: dict[TxClass, int] = {c: 0 for c in TxClass}
+
+    def phase(self, now: int, bg: bool = False) -> int:
+        """Occupy the bus for one phase starting at or after ``now``.
+
+        Returns the time the phase *completes* (start + latency); the
+        occupancy may exceed the latency when bandwidth is scaled down.
+        ``bg`` routes the phase over the posted-write port (see
+        :class:`repro.timing.resource.Resource`).
+        """
+        start = self.resource.acquire(now, self.timing.bus_busy_ns, bg)
+        return start + self.timing.bus_phase_ns
+
+    def record(self, kind: TxKind) -> None:
+        """Meter one logical transaction of ``kind``."""
+        cls = kind.tx_class
+        self.tx_count[cls] += 1
+        self.tx_bytes[cls] += message_bytes(kind, self.line_size)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.tx_bytes.values())
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(self.tx_count.values())
+
+    def traffic_breakdown(self) -> dict[str, int]:
+        """Bytes per traffic class, keyed 'read'/'write'/'replace'."""
+        return {c.value: self.tx_bytes[c] for c in TxClass}
+
+    def utilization(self, elapsed_ns: int) -> float:
+        return self.resource.utilization(elapsed_ns)

@@ -1,0 +1,6 @@
+"""Per-processor cache hierarchy below the attraction memory."""
+
+from repro.caches.l1 import L1Cache
+from repro.caches.slc import SecondLevelCache
+
+__all__ = ["L1Cache", "SecondLevelCache"]

@@ -1,0 +1,53 @@
+"""First-level cache: direct-mapped, write-through, no-write-allocate.
+
+The paper fixes the L1 at 4 KB direct-mapped; we keep it direct-mapped and
+scale the capacity with the working set (DESIGN.md section 2).  Because it
+is write-through into the SLC, evictions are always silent.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CacheGeometry
+from repro.mem.setassoc import SetAssocArray
+
+#: L1 lines have no coherence role of their own; a single valid state.
+_PRESENT = 1
+
+
+class L1Cache:
+    """Direct-mapped (or configurably associative) first-level cache."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.array = SetAssocArray(geometry)
+
+    def lookup(self, line: int) -> bool:
+        """Read probe; refreshes LRU on hit."""
+        e = self.array.lookup(line)
+        if e is None:
+            return False
+        self.array.touch(e)
+        return True
+
+    def fill(self, line: int) -> None:
+        """Bring ``line`` in, silently displacing the victim way."""
+        if line in self.array:
+            return
+        set_idx = self.array.set_index(line)
+        victim = self.array.free_way(set_idx) or self.array.find_victim(set_idx)
+        self.array.fill(victim, line, _PRESENT)
+
+    def write_hit(self, line: int) -> bool:
+        """Write probe (write-through, no-write-allocate): update on hit,
+        never allocate on miss.  Returns whether the line was present."""
+        e = self.array.lookup(line)
+        if e is None:
+            return False
+        self.array.touch(e)
+        return True
+
+    def invalidate(self, line: int) -> bool:
+        return self.array.invalidate_line(line)
+
+    @property
+    def occupancy(self) -> int:
+        return self.array.occupancy

@@ -1,0 +1,76 @@
+"""Second-level cache: private per processor, 4-way, write-back to the AM.
+
+Sized at 1/128 of the application working set (paper section 3.1).  With
+the inclusive hierarchy (paper default) every SLC line is also present in
+the node's attraction memory, so evicting a clean line is silent and
+evicting a dirty line costs one AM DRAM write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import CacheGeometry
+from repro.mem.setassoc import Entry, SetAssocArray
+
+_PRESENT = 1
+
+
+@dataclass(frozen=True)
+class SlcVictim:
+    """What fell out of the SLC during a fill."""
+
+    line: int
+    dirty: bool
+
+
+class SecondLevelCache:
+    """Write-back second-level cache."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.array = SetAssocArray(geometry)
+
+    def lookup(self, line: int) -> Optional[Entry]:
+        e = self.array.lookup(line)
+        if e is not None:
+            self.array.touch(e)
+        return e
+
+    def __contains__(self, line: int) -> bool:
+        return line in self.array
+
+    def fill(self, line: int) -> Optional[SlcVictim]:
+        """Bring ``line`` in; returns the displaced victim, if any.
+
+        The caller handles the victim's consequences: a dirty victim is
+        written back to the AM, and the AM's record of which local SLCs
+        hold the victim line must be updated.
+        """
+        if line in self.array:
+            return None
+        set_idx = self.array.set_index(line)
+        free = self.array.free_way(set_idx)
+        victim_info: Optional[SlcVictim] = None
+        if free is None:
+            victim = self.array.find_victim(set_idx)
+            victim_info = SlcVictim(line=victim.line, dirty=victim.dirty)
+            free = victim
+        self.array.fill(free, line, _PRESENT)
+        return victim_info
+
+    def mark_dirty(self, line: int) -> None:
+        e = self.array.lookup(line)
+        assert e is not None, f"mark_dirty on absent line {line:#x}"
+        e.dirty = True
+        self.array.touch(e)
+
+    def invalidate(self, line: int) -> bool:
+        """Back-invalidation from the AM (inclusion).  Dirty data being
+        discarded is safe: the AM's copy is made authoritative by the
+        caller before the line leaves the node."""
+        return self.array.invalidate_line(line)
+
+    @property
+    def occupancy(self) -> int:
+        return self.array.occupancy

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Examples::
+
+    coma-sim run fft --procs-per-node 4 --memory-pressure 0.8125
+    coma-sim figure 2
+    coma-sim figure 5 --scale 0.5
+    coma-sim table 1
+    coma-sim list
+    coma-sim thresholds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import RunSpec, run_spec
+from repro.stats.report import render_run_report
+from repro.workloads.registry import paper_workloads, workload_names
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        workload=args.workload,
+        machine=args.machine,
+        procs_per_node=args.procs_per_node,
+        memory_pressure=args.memory_pressure,
+        am_assoc=args.am_assoc,
+        scale=args.scale,
+        seed=args.seed,
+        dram_bandwidth_factor=args.dram_bandwidth,
+        bus_bandwidth_factor=args.bus_bandwidth,
+        inclusive=not args.non_inclusive,
+    )
+    result = run_spec(spec, use_cache=not args.no_cache)
+    print(render_run_report(result))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == 2:
+        from repro.experiments.figure2 import format_figure2, run_figure2
+
+        print(format_figure2(run_figure2(scale=args.scale)))
+    elif args.number == 3:
+        from repro.experiments.figure3 import format_traffic, run_figure3
+
+        print(
+            format_traffic(
+                run_figure3(scale=args.scale),
+                "Figure 3: traffic for 1 and 4-processor nodes at "
+                "6/50/75/81/87% MP",
+            )
+        )
+    elif args.number == 4:
+        from repro.experiments.figure4 import format_figure4, run_figure4
+
+        print(format_figure4(run_figure4(scale=args.scale)))
+    elif args.number == 5:
+        from repro.experiments.figure5 import format_figure5, run_figure5
+
+        print(format_figure5(run_figure5(scale=args.scale)))
+    else:
+        print(f"no figure {args.number} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number != 1:
+        print("the paper has one table (Table 1)", file=sys.stderr)
+        return 2
+    from repro.experiments.table1 import format_table1, run_table1
+
+    print(format_table1(run_table1(scale=args.scale)))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    paper = set(paper_workloads())
+    print("paper applications (Table 1):")
+    for n in paper_workloads():
+        print(f"  {n}")
+    extra = [n for n in workload_names() if n not in paper]
+    if extra:
+        print("synthetic workloads:")
+        for n in extra:
+            print(f"  {n}")
+    return 0
+
+
+def _cmd_thresholds(_args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import format_replication_thresholds
+
+    print(format_replication_thresholds())
+    return 0
+
+
+def _cmd_protocol(_args: argparse.Namespace) -> int:
+    from repro.coma.protocol import format_table
+
+    print(format_table())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import RunSpec, build_simulation
+    from repro.stats.profiler import SharingProfiler, format_profile
+
+    spec = RunSpec(
+        workload=args.workload,
+        procs_per_node=args.procs_per_node,
+        memory_pressure=args.memory_pressure,
+        scale=args.scale,
+    )
+    prof = SharingProfiler()
+    sim = build_simulation(spec)
+    sim.profiler = prof
+    sim.profile_every = args.every
+    sim.run()
+    prof.sample(sim.machine)
+    print(format_profile(prof.report()))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments import export as ex
+
+    if args.artifact == "figure2":
+        from repro.experiments.figure2 import run_figure2
+
+        rows = run_figure2(scale=args.scale)
+        out = ex.figure2_json(rows) if args.format == "json" else ex.figure2_csv(rows)
+    elif args.artifact == "figure3":
+        from repro.experiments.figure3 import run_figure3
+
+        sweep = run_figure3(scale=args.scale)
+        out = ex.traffic_json(sweep) if args.format == "json" else ex.traffic_csv(sweep)
+    elif args.artifact == "figure4":
+        from repro.experiments.figure4 import run_figure4
+
+        sweep = run_figure4(scale=args.scale)
+        out = ex.traffic_json(sweep) if args.format == "json" else ex.traffic_csv(sweep)
+    elif args.artifact == "figure5":
+        from repro.experiments.figure5 import run_figure5
+
+        bars = run_figure5(scale=args.scale)
+        out = ex.figure5_json(bars) if args.format == "json" else ex.figure5_csv(bars)
+    elif args.artifact == "table1":
+        from repro.experiments.table1 import run_table1
+
+        if args.format == "json":
+            print("table1 supports csv only", file=sys.stderr)
+            return 2
+        out = ex.table1_csv(run_table1(scale=args.scale))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    print(out, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="coma-sim",
+        description="Cluster-based COMA multiprocessor simulator "
+        "(Landin & Karlgren, IPPS 1997 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("workload", choices=workload_names())
+    run.add_argument("--machine", choices=["coma", "numa"], default="coma")
+    run.add_argument("--procs-per-node", type=int, default=1, choices=[1, 2, 4, 8, 16])
+    run.add_argument("--memory-pressure", type=float, default=0.5)
+    run.add_argument("--am-assoc", type=int, default=4)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=1997)
+    run.add_argument("--dram-bandwidth", type=float, default=1.0)
+    run.add_argument("--bus-bandwidth", type=float, default=1.0)
+    run.add_argument("--non-inclusive", action="store_true")
+    run.add_argument("--no-cache", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    fig = sub.add_parser("figure", help="reproduce a paper figure")
+    fig.add_argument("number", type=int)
+    fig.add_argument("--scale", type=float, default=1.0)
+    fig.set_defaults(func=_cmd_figure)
+
+    tab = sub.add_parser("table", help="reproduce a paper table")
+    tab.add_argument("number", type=int)
+    tab.add_argument("--scale", type=float, default=1.0)
+    tab.set_defaults(func=_cmd_table)
+
+    ls = sub.add_parser("list", help="list available workloads")
+    ls.set_defaults(func=_cmd_list)
+
+    th = sub.add_parser("thresholds", help="print replication thresholds")
+    th.set_defaults(func=_cmd_thresholds)
+
+    pr = sub.add_parser("protocol", help="print the E/O/S/I transition table")
+    pr.set_defaults(func=_cmd_protocol)
+
+    pf = sub.add_parser("profile", help="sharing/replication profile of a run")
+    pf.add_argument("workload", choices=workload_names())
+    pf.add_argument("--procs-per-node", type=int, default=1)
+    pf.add_argument("--memory-pressure", type=float, default=0.5)
+    pf.add_argument("--scale", type=float, default=1.0)
+    pf.add_argument("--every", type=int, default=5000)
+    pf.set_defaults(func=_cmd_profile)
+
+    exp = sub.add_parser("export", help="export figure data as CSV/JSON")
+    exp.add_argument(
+        "artifact",
+        choices=["figure2", "figure3", "figure4", "figure5", "table1"],
+    )
+    exp.add_argument("--format", choices=["csv", "json"], default="csv")
+    exp.add_argument("--scale", type=float, default=1.0)
+    exp.set_defaults(func=_cmd_export)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

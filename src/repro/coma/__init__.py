@@ -1,0 +1,26 @@
+"""The paper's primary subject: the bus-based COMA memory system with
+(optionally shared) attraction memories.
+
+Public surface:
+
+* :class:`repro.coma.machine.ComaMachine` — the full memory system;
+* :mod:`repro.coma.states` — the four line states (E/O/S/I);
+* :class:`repro.coma.linetable.LineTable` — global bookkeeping directory.
+"""
+
+from repro.coma.states import INVALID, SHARED, OWNER, EXCLUSIVE, state_name
+from repro.coma.linetable import LineInfo, LineTable
+from repro.coma.machine import ComaMachine
+from repro.coma.hierarchy import HierarchicalComaMachine
+
+__all__ = [
+    "INVALID",
+    "SHARED",
+    "OWNER",
+    "EXCLUSIVE",
+    "state_name",
+    "LineInfo",
+    "LineTable",
+    "ComaMachine",
+    "HierarchicalComaMachine",
+]

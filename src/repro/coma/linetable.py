@@ -1,0 +1,71 @@
+"""Global line bookkeeping.
+
+The simulated hardware is a *snooping* bus — there is no directory in the
+modeled machine, and no directory cost is charged.  This table exists so
+the simulator can find the owner and the sharer set of a line in O(1)
+instead of scanning every node on every transaction; it is pure
+bookkeeping and is cross-checked against the per-node arrays by
+``ComaMachine.check_consistency`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+
+#: Owner-copy locations.
+LOC_AM = 0        # in the owner node's attraction memory
+LOC_OVERFLOW = 1  # parked in the owner node's victim overflow buffer
+LOC_SLC = 2       # (non-inclusive hierarchies only) held in local SLC(s)
+
+
+class LineInfo:
+    """Owner and replica bookkeeping for one materialized line."""
+
+    __slots__ = ("owner_node", "owner_loc", "sharers")
+
+    def __init__(self, owner_node: int) -> None:
+        self.owner_node = owner_node
+        self.owner_loc = LOC_AM
+        self.sharers: set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        loc = {LOC_AM: "am", LOC_OVERFLOW: "ovf", LOC_SLC: "slc"}[self.owner_loc]
+        return f"LineInfo(owner={self.owner_node}@{loc}, sharers={sorted(self.sharers)})"
+
+
+class LineTable:
+    """Map from line address to :class:`LineInfo` for every materialized line."""
+
+    def __init__(self) -> None:
+        self._lines: dict[int, LineInfo] = {}
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def get(self, line: int) -> LineInfo:
+        info = self._lines.get(line)
+        if info is None:
+            raise ProtocolError(f"line {line:#x} accessed before materialization")
+        return info
+
+    def maybe(self, line: int):
+        return self._lines.get(line)
+
+    def materialize(self, line: int, owner_node: int) -> LineInfo:
+        if line in self._lines:
+            raise ProtocolError(f"line {line:#x} materialized twice")
+        info = LineInfo(owner_node)
+        self._lines[line] = info
+        return info
+
+    def items(self):
+        return self._lines.items()
+
+    def lines_owned_by(self, node_id: int):
+        """Iterate lines whose owner copy lives in ``node_id`` (slow; tests only)."""
+        for line, info in self._lines.items():
+            if info.owner_node == node_id:
+                yield line

@@ -1,0 +1,680 @@
+"""The bus-based COMA memory system (paper sections 2-3).
+
+:class:`ComaMachine` wires together the per-processor L1s and SLCs, the
+per-node attraction memories with their node controllers and DRAM banks,
+the global snooping bus, the four-state invalidation protocol and the
+accept-based replacement engine.  The simulation kernel drives it through
+three entry points:
+
+* :meth:`ComaMachine.read`  — processor load; returns completion time and
+  the level that satisfied it (``l1``/``slc``/``am``/``remote``);
+* :meth:`ComaMachine.write` — one write drained from a write buffer;
+* :meth:`ComaMachine.rmw`   — atomic read-modify-write (lock/barrier ops).
+
+All times are integer nanoseconds.  The machine never looks at data
+values — workloads keep real data on the Python side — so coherence here
+is about *where copies live*, which is all the paper's metrics need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bus.sharedbus import SharedBus
+from repro.bus.transaction import TxKind
+from repro.caches.l1 import L1Cache
+from repro.caches.slc import SecondLevelCache
+from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC, LineTable
+from repro.coma.node import (
+    REMOVED_EVICTED,
+    REMOVED_INVALIDATED,
+    ComaNode,
+)
+from repro.coma.replacement import ReplacementEngine
+from repro.coma.states import EXCLUSIVE, INVALID, OWNER, SHARED, is_owning
+from repro.common.config import MachineConfig
+from repro.common.errors import ProtocolError
+from repro.mem.address import AddressSpace
+from repro.mem.setassoc import Entry
+from repro.stats.counters import Counters
+from repro.timing.resource import Resource
+
+#: Levels reported to the processor model for stall accounting.
+LEVEL_L1 = "l1"
+LEVEL_SLC = "slc"
+LEVEL_AM = "am"
+LEVEL_REMOTE = "remote"
+
+
+class ComaMachine:
+    """A 16-processor (configurable) cluster-based COMA memory system."""
+
+    def __init__(self, config: MachineConfig, space: AddressSpace) -> None:
+        config._require_sized()
+        if space.page_size != config.page_size:
+            raise ProtocolError(
+                f"address space page size {space.page_size} != config {config.page_size}"
+            )
+        self.config = config
+        self.timing = config.timing
+        self.space = space
+        self.counters = Counters()
+        self.lines = LineTable()
+        self.bus = SharedBus(config.timing, config.line_size)
+        am_geom = config.am_geometry
+        self.nodes: list[ComaNode] = [
+            ComaNode(i, am_geom, config) for i in range(config.n_nodes)
+        ]
+        slc_geom = config.slc_geometry
+        l1_geom = config.l1_geometry
+        self.slcs: list[SecondLevelCache] = [
+            SecondLevelCache(slc_geom) for _ in range(config.n_processors)
+        ]
+        self.l1s: list[L1Cache] = [L1Cache(l1_geom) for _ in range(config.n_processors)]
+        self.slc_res: list[Resource] = [
+            Resource(f"slc{p}") for p in range(config.n_processors)
+        ]
+        self.repl = ReplacementEngine(self)
+        self._shift = config.line_shift
+        self._node_of = [config.node_of_proc(p) for p in range(config.n_processors)]
+        #: Time of the operation currently being processed; used by
+        #: background actions (back-invalidations, relocations) so they
+        #: charge resource occupancy at a sensible instant.
+        self.now = 0
+        #: True while processing a posted (write-buffered) write: all
+        #: resource occupancy it causes goes to the background ports so
+        #: demand accesses are never queued behind it (read bypass).
+        self._bg = False
+
+    # ------------------------------------------------------------------
+    # processor-facing operations
+    # ------------------------------------------------------------------
+
+    def read(self, proc: int, addr: int, now: int) -> tuple[int, str]:
+        """Processor ``proc`` loads ``addr`` at time ``now``.
+
+        Returns ``(completion_time, level)``.
+        """
+        self.now = now
+        c = self.counters
+        c.reads += 1
+        line = addr >> self._shift
+        node = self.nodes[self._node_of[proc]]
+        self._ensure_page(addr, node, now)
+
+        if self.l1s[proc].lookup(line):
+            c.l1_read_hits += 1
+            return now + self.timing.l1_hit_ns, LEVEL_L1
+
+        slc = self.slcs[proc]
+        start = self.slc_res[proc].acquire(now, self.timing.slc_occupancy_ns, self._bg)
+        if slc.lookup(line) is not None:
+            c.slc_read_hits += 1
+            self.l1s[proc].fill(line)
+            return start + self.timing.slc_hit_ns, LEVEL_SLC
+
+        # Node level: the attraction memory (or the overflow buffer).
+        entry = node.am.lookup(line)
+        if entry is not None:
+            done = self._am_access(node, now)
+            node.am.touch(entry)
+            if node.shadow is not None:
+                node.shadow.access(line)
+            c.am_read_hits += 1
+            self._fill_hierarchy(proc, node, line, entry)
+            return done, LEVEL_AM
+        if line in node.overflow:
+            done = self._am_access(node, now)
+            if node.shadow is not None:
+                node.shadow.access(line)
+            c.overflow_read_hits += 1
+            return done, LEVEL_AM
+        if not self.config.inclusive:
+            sr = node.slc_resident.get(line)
+            if sr is not None:
+                # Another local SLC supplies the line through the node
+                # controller (intra-node cache-to-cache).
+                done = self._am_access(node, now)
+                if node.shadow is not None:
+                    node.shadow.access(line)
+                c.slc_neighbor_hits += 1
+                self._fill_slc_resident(proc, node, line, sr)
+                return done, LEVEL_AM
+
+        # Read node miss.
+        c.node_read_misses += 1
+        self._classify_read_miss(node, line)
+        if node.shadow is not None:
+            node.shadow.access(line)
+        info = self.lines.get(line)
+        owner = self.nodes[info.owner_node]
+        self._record_remote(TxKind.READ_DATA, node, owner)
+        t = self._remote_path(node, owner, now)
+
+        # Supplier side: E degrades to O (a shared copy now exists).
+        self._owner_to_shared_state(owner, line, info)
+
+        way = self.repl.make_room(node, line, t, mandatory=False)
+        if way is None:
+            # Uncached read: data delivered, no local copy retained.
+            return t + self.timing.remote_overhead_ns, LEVEL_REMOTE
+        node.am.fill(way, line, SHARED)
+        node.note_present(line)
+        info.sharers.add(node.id)
+        s = node.dram.acquire(t, self.timing.dram_busy_ns, self._bg)
+        done = s + self.timing.dram_latency_ns + self.timing.remote_overhead_ns
+        self._fill_hierarchy(proc, node, line, way)
+        return done, LEVEL_REMOTE
+
+    def write(self, proc: int, addr: int, now: int) -> int:
+        """One write drained from ``proc``'s write buffer at ``now``.
+
+        Returns the completion time; under release consistency the
+        processor does not wait for it unless the buffer is full or a
+        release is pending.
+        """
+        self.counters.writes += 1
+        self._bg = True
+        try:
+            done, _level = self._write_access(proc, addr, now)
+        finally:
+            self._bg = False
+        return done
+
+    def rmw(self, proc: int, addr: int, now: int) -> tuple[int, str]:
+        """Atomic read-modify-write (synchronization accesses).
+
+        The processor stalls for it (acquire semantics); returns
+        ``(completion_time, level)`` for stall accounting.
+        """
+        self.counters.atomics += 1
+        return self._write_access(proc, addr, now)
+
+    def write_stalling(self, proc: int, addr: int, now: int) -> tuple[int, str]:
+        """A write the processor waits for (sequential-consistency mode)."""
+        self.counters.writes += 1
+        return self._write_access(proc, addr, now)
+
+    # ------------------------------------------------------------------
+    # write machinery
+    # ------------------------------------------------------------------
+
+    def _write_access(self, proc: int, addr: int, now: int) -> tuple[int, str]:
+        self.now = now
+        c = self.counters
+        line = addr >> self._shift
+        node = self.nodes[self._node_of[proc]]
+        self._ensure_page(addr, node, now)
+
+        self.l1s[proc].write_hit(line)  # write-through, no-write-allocate
+        slc = self.slcs[proc]
+        slc_hit = line in slc
+        info = self.lines.get(line)
+
+        entry = node.am.lookup(line)
+        sr = None
+        if entry is not None:
+            local_state = entry.state
+            where = LOC_AM
+        elif line in node.overflow:
+            local_state = node.overflow[line]
+            where = LOC_OVERFLOW
+        else:
+            sr = node.slc_resident.get(line) if not self.config.inclusive else None
+            local_state = sr[1] if sr is not None else INVALID
+            where = LOC_SLC
+
+        if local_state == EXCLUSIVE:
+            if node.shadow is not None:
+                node.shadow.access(line)
+            if entry is not None:
+                node.am.touch(entry)
+            return self._local_write_finish(proc, node, line, entry, sr, slc_hit, now)
+
+        if local_state in (OWNER, SHARED):
+            # Upgrade: erase every other copy, take exclusive ownership.
+            c.upgrades += 1
+            s = node.nc.acquire(now, self.timing.nc_busy_ns, self._bg)
+            t = self._upgrade_broadcast(node, line, s + self.timing.nc_ns)
+            self._invalidate_others(line, node)
+            if entry is not None:
+                entry.state = EXCLUSIVE
+                node.am.touch(entry)
+            elif where == LOC_OVERFLOW:
+                node.overflow[line] = EXCLUSIVE
+            else:
+                assert sr is not None
+                sr[1] = EXCLUSIVE
+            info.owner_node = node.id
+            info.owner_loc = where
+            info.sharers.clear()
+            if node.shadow is not None:
+                node.shadow.access(line)
+            return self._local_write_finish(proc, node, line, entry, sr, slc_hit, t)
+
+        # Write node miss: read-exclusive on the bus.
+        c.node_write_misses += 1
+        c.read_exclusive += 1
+        owner = self.nodes[info.owner_node]
+        self._record_remote(TxKind.READ_EXCL, node, owner)
+        t = self._remote_path(node, owner, now)
+        self._invalidate_others(line, node)
+        way = self.repl.make_room(node, line, t, mandatory=True)
+        assert way is not None, "mandatory make_room returned None"
+        node.am.fill(way, line, EXCLUSIVE)
+        node.note_present(line)
+        info.owner_node = node.id
+        info.owner_loc = LOC_AM
+        info.sharers.clear()
+        if node.shadow is not None:
+            node.shadow.access(line)
+        s = node.dram.acquire(t, self.timing.dram_busy_ns, self._bg)
+        t = s + self.timing.dram_latency_ns
+        self._fill_hierarchy(proc, node, line, way)
+        self.slcs[proc].mark_dirty(line)
+        return t + self.timing.remote_overhead_ns, LEVEL_REMOTE
+
+    def _local_write_finish(
+        self,
+        proc: int,
+        node: ComaNode,
+        line: int,
+        entry: Optional[Entry],
+        sr: Optional[list],
+        slc_hit: bool,
+        t: int,
+    ) -> tuple[int, str]:
+        """Complete a write whose node already holds exclusive ownership."""
+        slc = self.slcs[proc]
+        if slc_hit:
+            s = self.slc_res[proc].acquire(t, self.timing.slc_occupancy_ns, self._bg)
+            slc.mark_dirty(line)
+            return s + self.timing.slc_hit_ns, LEVEL_SLC
+        if entry is not None:
+            done = self._am_access(node, t)
+            self._fill_hierarchy(proc, node, line, entry)
+            slc.mark_dirty(line)
+            return done, LEVEL_AM
+        if sr is not None:
+            # Fetched from a neighbour SLC within the node (non-inclusive).
+            done = self._am_access(node, t)
+            self._fill_slc_resident(proc, node, line, sr)
+            slc.mark_dirty(line)
+            return done, LEVEL_AM
+        # Owner copy parked in overflow: write at AM level, no SLC fill.
+        return self._am_access(node, t), LEVEL_AM
+
+    # ------------------------------------------------------------------
+    # protocol helpers
+    # ------------------------------------------------------------------
+
+    def _owner_to_shared_state(self, owner: ComaNode, line: int, info) -> None:
+        """After supplying a read copy, the owner's E degrades to O."""
+        oentry = owner.am.lookup(line)
+        if oentry is not None:
+            if oentry.state == EXCLUSIVE:
+                oentry.state = OWNER
+        elif line in owner.overflow:
+            if owner.overflow[line] == EXCLUSIVE:
+                owner.overflow[line] = OWNER
+        elif line in owner.slc_resident:
+            if owner.slc_resident[line][1] == EXCLUSIVE:
+                owner.slc_resident[line][1] = OWNER
+        else:
+            raise ProtocolError(
+                f"owner node {owner.id} does not hold line {line:#x}"
+            )
+
+    def _invalidate_others(self, line: int, writer: ComaNode) -> None:
+        """Erase every copy of ``line`` outside ``writer`` (upgrade or
+        read-exclusive).  The line table is updated by the caller."""
+        info = self.lines.get(line)
+        c = self.counters
+        for sid in list(info.sharers):
+            if sid == writer.id:
+                continue
+            n = self.nodes[sid]
+            entry = n.am.lookup(line)
+            if entry is not None:
+                self.strip_node_copy(n, entry, REMOVED_INVALIDATED)
+            else:
+                sr = n.slc_resident.pop(line, None)
+                if sr is None:
+                    raise ProtocolError(f"sharer {sid} lost line {line:#x}")
+                self._invalidate_mask(n, line, sr[0])
+                n.note_removed(line, REMOVED_INVALIDATED)
+                if n.shadow is not None:
+                    n.shadow.remove(line)
+            c.invalidations_sent += 1
+        if info.owner_node != writer.id:
+            onode = self.nodes[info.owner_node]
+            if info.owner_loc == LOC_AM:
+                entry = onode.am.lookup(line)
+                if entry is None:
+                    raise ProtocolError(f"owner {onode.id} lost line {line:#x}")
+                self.strip_node_copy(onode, entry, REMOVED_INVALIDATED)
+            elif info.owner_loc == LOC_OVERFLOW:
+                del onode.overflow[line]
+                onode.note_removed(line, REMOVED_INVALIDATED)
+                if onode.shadow is not None:
+                    onode.shadow.remove(line)
+            else:  # LOC_SLC
+                sr = onode.slc_resident.pop(line)
+                self._invalidate_mask(onode, line, sr[0])
+                onode.note_removed(line, REMOVED_INVALIDATED)
+                if onode.shadow is not None:
+                    onode.shadow.remove(line)
+            c.invalidations_sent += 1
+
+    def drop_shared_copy(self, node: ComaNode, entry: Entry) -> None:
+        """Silently drop a Shared replica (safe: an owner exists elsewhere).
+
+        In a non-inclusive hierarchy, local SLC copies keep the node a
+        sharer: only the AM way is surrendered.
+        """
+        assert entry.state == SHARED
+        line = entry.line
+        if not self.config.inclusive and entry.aux:
+            node.slc_resident[line] = [entry.aux, SHARED]
+            entry.aux = 0
+            node.am.invalidate(entry)
+            return
+        info = self.lines.get(line)
+        info.sharers.discard(node.id)
+        self.counters.shared_drops += 1
+        self.strip_node_copy(node, entry, REMOVED_EVICTED)
+
+    def strip_node_copy(self, node: ComaNode, entry: Entry, reason: str) -> None:
+        """Remove an AM entry from ``node``: back-invalidate the local SLCs
+        (inclusion), update shadow/miss bookkeeping, invalidate the way."""
+        line = entry.line
+        self.backinvalidate_slcs(node, entry)
+        node.note_removed(line, reason)
+        if reason == REMOVED_INVALIDATED and node.shadow is not None:
+            node.shadow.remove(line)
+        node.am.invalidate(entry)
+
+    def backinvalidate_slcs(self, node: ComaNode, entry: Entry) -> None:
+        """Purge ``entry.line`` from every local SLC/L1 caching it."""
+        if entry.aux == 0:
+            return
+        self._invalidate_mask(node, entry.line, entry.aux)
+        entry.aux = 0
+
+    def _invalidate_mask(self, node: ComaNode, line: int, mask: int) -> None:
+        base = node.id * self.config.procs_per_node
+        idx = 0
+        while mask:
+            if mask & 1:
+                p = base + idx
+                self.slcs[p].invalidate(line)
+                self.l1s[p].invalidate(line)
+                self.slc_res[p].acquire(self.now, self.timing.slc_occupancy_ns, self._bg)
+                self.counters.back_invalidations += 1
+            mask >>= 1
+            idx += 1
+
+    # ------------------------------------------------------------------
+    # fills, paging, timing
+    # ------------------------------------------------------------------
+
+    def _fill_hierarchy(
+        self, proc: int, node: ComaNode, line: int, am_entry: Entry
+    ) -> None:
+        """Install ``line`` into ``proc``'s SLC and L1 after an AM-level hit
+        or a remote fill, handling the SLC victim's write-back.
+
+        The presence bit is recorded *before* the victim's consequences
+        are processed: in a non-inclusive hierarchy the victim handling
+        can displace ``line`` itself from the AM (owner reinsertion picks
+        a victim in the same set), and the displacement machinery then
+        sees an accurate picture and migrates the bit to
+        ``slc_resident``.  The L1 fill happens only if the line survived
+        in this SLC.
+        """
+        am_entry.aux |= 1 << (proc % self.config.procs_per_node)
+        victim = self.slcs[proc].fill(line)
+        if victim is not None:
+            self._handle_slc_victim(proc, node, victim)
+        if line in self.slcs[proc]:
+            self.l1s[proc].fill(line)
+
+    def _fill_slc_resident(
+        self, proc: int, node: ComaNode, line: int, sr: list
+    ) -> None:
+        """Non-inclusive: install a line that lives only in local SLCs."""
+        sr[0] |= 1 << (proc % self.config.procs_per_node)
+        if line not in self.slcs[proc]:
+            victim = self.slcs[proc].fill(line)
+            if victim is not None:
+                self._handle_slc_victim(proc, node, victim)
+        if line in self.slcs[proc]:
+            self.l1s[proc].fill(line)
+
+    def _handle_slc_victim(self, proc: int, node: ComaNode, victim) -> None:
+        """Consequences of an SLC eviction.
+
+        Inclusive hierarchy: clear the AM entry's presence bit and write
+        back dirty data.  Non-inclusive hierarchy: the evicted line may
+        exist *only* in SLCs; when the last SLC copy of an owner line goes,
+        the line is written back into the AM (which may displace another
+        owner through the normal replacement machinery) so the datum is
+        never lost.
+        """
+        line = victim.line
+        bit = 1 << (proc % self.config.procs_per_node)
+        self.l1s[proc].invalidate(line)
+        ventry = node.am.lookup(line)
+        if ventry is not None:
+            ventry.aux &= ~bit
+            if victim.dirty:
+                node.dram.acquire(self.now, self.timing.dram_busy_ns, self._bg)
+                self.counters.slc_writebacks += 1
+            return
+        sr = node.slc_resident.get(line)
+        if sr is None:
+            return  # line already left the node at AM level
+        sr[0] &= ~bit
+        if sr[0]:
+            return  # other local SLCs still hold it
+        state = sr[1]
+        del node.slc_resident[line]
+        info = self.lines.get(line)
+        if state == SHARED:
+            info.sharers.discard(node.id)
+            node.note_removed(line, REMOVED_EVICTED)
+            self.counters.shared_drops += 1
+            return
+        # Last copy of an owner line: reinsert into the attraction memory.
+        way = self.repl.make_room(node, line, self.now, mandatory=True)
+        assert way is not None
+        node.am.fill(way, line, state)
+        node.note_present(line)
+        info.owner_loc = LOC_AM
+        node.dram.acquire(self.now, self.timing.dram_busy_ns, self._bg)
+        self.counters.slc_owner_reinserts += 1
+
+    def _ensure_page(self, addr: int, node: ComaNode, now: int) -> None:
+        """Materialize the page on first touch: its lines appear in the
+        toucher's AM in Exclusive state, instantly and with no processor
+        delay (paper section 3)."""
+        page = self.space.page_of(addr)
+        if page in self.space.page_home:
+            return
+        self.space.ensure_page(addr, node.id)
+        self.counters.pages_allocated += 1
+        for line in self.space.lines_of_page(page, self.config.line_size):
+            self.lines.materialize(line, node.id)
+            way = self.repl.make_room(node, line, now, mandatory=True)
+            assert way is not None
+            node.am.fill(way, line, EXCLUSIVE)
+            node.note_present(line)
+
+    def _am_access(self, node: ComaNode, t0: int) -> int:
+        """Charge one attraction-memory access: controller in, DRAM read,
+        controller return.  Contention-free latency 148 ns."""
+        tm = self.timing
+        s = node.nc.acquire(t0, tm.nc_busy_ns, self._bg)
+        t = s + tm.nc_ns
+        s = node.dram.acquire(t, tm.dram_busy_ns, self._bg)
+        t = s + tm.dram_latency_ns
+        s = node.nc.acquire(t, tm.nc_busy_ns, self._bg)
+        return s + tm.nc_ns
+
+    # -- interconnect hooks (overridden by the hierarchical machine) -----
+
+    def _record_remote(self, kind: TxKind, local: ComaNode, owner: ComaNode) -> None:
+        """Meter one remote data transaction on the interconnect."""
+        self.bus.record(kind)
+
+    def _upgrade_broadcast(self, node: ComaNode, line: int, t: int) -> int:
+        """Broadcast an upgrade/erase; returns its completion time."""
+        self.bus.record(TxKind.UPGRADE)
+        return self.bus.phase(t, self._bg)
+
+    def charge_replacement(
+        self, src: ComaNode, dst: Optional[ComaNode], now: int, data: bool
+    ) -> None:
+        """Meter and time a replacement transaction (probe, and the data
+        transfer into ``dst`` when ``data``)."""
+        self.bus.record(TxKind.REPLACE_PROBE)
+        t = self.bus.phase(now, self._bg)
+        if data:
+            assert dst is not None
+            self.bus.record(TxKind.REPLACE_DATA)
+            t = self.bus.phase(t, self._bg)
+            s = dst.nc.acquire(t, self.timing.nc_busy_ns, self._bg)
+            dst.dram.acquire(s + self.timing.nc_ns, self.timing.dram_busy_ns, self._bg)
+
+    def node_scan_order(self, exclude_id: int, rotor: int) -> list[ComaNode]:
+        """Receiver scan order for the replacement engine: rotating round
+        robin over all other nodes."""
+        n = len(self.nodes)
+        return [
+            self.nodes[(rotor + k) % n]
+            for k in range(n)
+            if (rotor + k) % n != exclude_id
+        ]
+
+    def _remote_path(self, local: ComaNode, owner: ComaNode, now: int) -> int:
+        """Charge the remote fetch up to data arrival at the local
+        controller: local NC, bus request, remote NC + DRAM, bus reply,
+        local NC.  The local allocate/fill and fixed overhead are added by
+        the caller (they differ between cached and uncached reads)."""
+        tm = self.timing
+        s = local.nc.acquire(now, tm.nc_busy_ns, self._bg)
+        t = self.bus.phase(s + tm.nc_ns, self._bg)
+        s = owner.nc.acquire(t, tm.nc_busy_ns, self._bg)
+        t = s + tm.nc_ns
+        s = owner.dram.acquire(t, tm.dram_busy_ns, self._bg)
+        t = self.bus.phase(s + tm.dram_latency_ns, self._bg)
+        s = local.nc.acquire(t, tm.nc_busy_ns, self._bg)
+        return s + tm.nc_ns
+
+    def _classify_read_miss(self, node: ComaNode, line: int) -> None:
+        c = self.counters
+        if line not in node.ever:
+            c.read_miss_cold += 1
+        elif node.removal_reason.get(line) == REMOVED_INVALIDATED:
+            c.read_miss_coherence += 1
+        elif node.shadow is not None and line in node.shadow:
+            c.read_miss_conflict += 1
+        else:
+            c.read_miss_capacity += 1
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Machine-wide invariant check (used heavily by the test suite).
+
+        Verifies the line table against the per-node arrays, the single-
+        owner invariant, sharer bookkeeping, and inclusion (every SLC line
+        present in its node's AM with the aux bit set; every L1 line in
+        the SLC).
+        """
+        for node in self.nodes:
+            node.am.check_consistency()
+        for line, info in self.lines.items():
+            onode = self.nodes[info.owner_node]
+            if info.owner_loc == LOC_AM:
+                e = onode.am.lookup(line)
+                assert e is not None and is_owning(e.state), (
+                    f"line {line:#x}: owner copy missing in node {onode.id}"
+                )
+                if info.sharers:
+                    assert e.state == OWNER, f"line {line:#x}: E with sharers"
+            elif info.owner_loc == LOC_OVERFLOW:
+                assert line in onode.overflow, (
+                    f"line {line:#x}: overflow owner missing in node {onode.id}"
+                )
+            else:  # LOC_SLC
+                sr = onode.slc_resident.get(line)
+                assert sr is not None and is_owning(sr[1]) and sr[0], (
+                    f"line {line:#x}: SLC-resident owner missing in node {onode.id}"
+                )
+            for sid in info.sharers:
+                n = self.nodes[sid]
+                se = n.am.lookup(line)
+                if se is not None:
+                    assert se.state == SHARED, (
+                        f"line {line:#x}: sharer {sid} inconsistent"
+                    )
+                else:
+                    sr = n.slc_resident.get(line)
+                    assert sr is not None and sr[1] == SHARED and sr[0], (
+                        f"line {line:#x}: sharer {sid} holds no copy"
+                    )
+        # Reverse direction: every valid AM entry is registered.
+        for node in self.nodes:
+            for e in node.am.valid_entries():
+                info = self.lines.maybe(e.line)
+                assert info is not None, f"unregistered line {e.line:#x}"
+                if e.state == SHARED:
+                    assert node.id in info.sharers
+                else:
+                    assert info.owner_node == node.id and info.owner_loc == LOC_AM
+            for line, sr in node.slc_resident.items():
+                info = self.lines.maybe(line)
+                assert info is not None and sr[0], f"bad slc_resident {line:#x}"
+                assert line not in node.am, f"slc_resident line {line:#x} also in AM"
+                if sr[1] == SHARED:
+                    assert node.id in info.sharers
+                else:
+                    assert info.owner_node == node.id and info.owner_loc == LOC_SLC
+        # Hierarchy relations.
+        ppn = self.config.procs_per_node
+        for p in range(self.config.n_processors):
+            node = self.nodes[self._node_of[p]]
+            bit = 1 << (p % ppn)
+            for se in self.slcs[p].array.valid_entries():
+                ae = node.am.lookup(se.line)
+                if ae is not None:
+                    assert ae.aux & bit, (
+                        f"aux bit missing for SLC{p} line {se.line:#x}"
+                    )
+                elif self.config.inclusive:
+                    raise AssertionError(
+                        f"inclusion violated: SLC{p} holds {se.line:#x} not in AM"
+                    )
+                else:
+                    sr = node.slc_resident.get(se.line)
+                    assert sr is not None and sr[0] & bit, (
+                        f"SLC{p} line {se.line:#x} untracked at node level"
+                    )
+            for le in self.l1s[p].array.valid_entries():
+                assert le.line in self.slcs[p], (
+                    f"L1{p} holds {le.line:#x} not in SLC"
+                )
+
+    # ------------------------------------------------------------------
+    def owned_line_count(self) -> int:
+        """Total owner lines machine-wide (equals materialized lines)."""
+        from repro.coma.states import is_owning as _owning
+
+        total = 0
+        for n in self.nodes:
+            total += n.owned_lines_in_am() + len(n.overflow)
+            total += sum(1 for sr in n.slc_resident.values() if _owning(sr[1]))
+        return total

@@ -1,0 +1,127 @@
+"""Declarative specification of the E/O/S/I coherence protocol.
+
+The executable machine lives in :mod:`repro.coma.machine`; this module
+states the protocol as data — the local-state transition table for every
+(state, event) pair — and provides a reference oracle the test suite uses
+to cross-validate the machine's behaviour.  It also renders the table as
+text for documentation (``coma-sim protocol``).
+
+Events, from the perspective of one node's copy of a line:
+
+=============  ==========================================================
+event          meaning
+=============  ==========================================================
+local_read     a processor in this node loads the line
+local_write    a processor in this node stores to the line
+remote_read    another node's read miss is snooped on the bus
+remote_write   another node's upgrade/read-exclusive is snooped
+evict          the replacement engine displaces this copy
+inject         an evicted owner line is accepted into this node
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.coma.states import EXCLUSIVE, INVALID, OWNER, SHARED, state_name
+
+EVENTS = (
+    "local_read",
+    "local_write",
+    "remote_read",
+    "remote_write",
+    "evict",
+    "inject",
+)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of the protocol table."""
+
+    state: int
+    event: str
+    next_state: Optional[int]  # None = transition not allowed / no copy
+    bus_action: str            # "", "read", "read_excl", "upgrade", "replace"
+    notes: str = ""
+
+
+#: The complete table.  ``INVALID + local_*`` covers the miss paths.
+TRANSITIONS: tuple[Transition, ...] = (
+    # Invalid (no copy in this node)
+    Transition(INVALID, "local_read", SHARED, "read",
+               "fetch a replica; supplier stays owner (E degrades to O)"),
+    Transition(INVALID, "local_write", EXCLUSIVE, "read_excl",
+               "fetch and erase every other copy"),
+    Transition(INVALID, "remote_read", None, "", "not involved"),
+    Transition(INVALID, "remote_write", None, "", "not involved"),
+    Transition(INVALID, "evict", None, "", "nothing to evict"),
+    Transition(INVALID, "inject", EXCLUSIVE, "replace",
+               "accepts a relocated owner (O if sharers exist)"),
+    # Shared
+    Transition(SHARED, "local_read", SHARED, "", "hit"),
+    Transition(SHARED, "local_write", EXCLUSIVE, "upgrade",
+               "erase other copies, take ownership"),
+    Transition(SHARED, "remote_read", SHARED, "", "owner supplies, not us"),
+    Transition(SHARED, "remote_write", INVALID, "", "erased"),
+    Transition(SHARED, "evict", INVALID, "",
+               "dropped silently: an owner exists elsewhere"),
+    Transition(SHARED, "inject", OWNER, "replace",
+               "sharer takeover: ownership moves here without data"),
+    # Owner (shared copies may exist elsewhere)
+    Transition(OWNER, "local_read", OWNER, "", "hit"),
+    Transition(OWNER, "local_write", EXCLUSIVE, "upgrade",
+               "erase the replicas"),
+    Transition(OWNER, "remote_read", OWNER, "", "supplies the data"),
+    Transition(OWNER, "remote_write", INVALID, "", "erased by new owner"),
+    Transition(OWNER, "evict", INVALID, "replace",
+               "must be relocated (accept-based receiver search)"),
+    Transition(OWNER, "inject", None, "", "cannot hold a second copy"),
+    # Exclusive (the only copy in the machine)
+    Transition(EXCLUSIVE, "local_read", EXCLUSIVE, "", "hit"),
+    Transition(EXCLUSIVE, "local_write", EXCLUSIVE, "", "silent"),
+    Transition(EXCLUSIVE, "remote_read", OWNER, "",
+               "supplies the data, a replica now exists"),
+    Transition(EXCLUSIVE, "remote_write", INVALID, "", "erased by new owner"),
+    Transition(EXCLUSIVE, "evict", INVALID, "replace",
+               "must be relocated — the only copy"),
+    Transition(EXCLUSIVE, "inject", None, "", "cannot hold a second copy"),
+)
+
+_TABLE = {(t.state, t.event): t for t in TRANSITIONS}
+
+
+def transition(state: int, event: str) -> Transition:
+    """Look up the table entry for ``(state, event)``."""
+    try:
+        return _TABLE[(state, event)]
+    except KeyError:
+        raise KeyError(f"no transition for ({state_name(state)}, {event})") from None
+
+
+def next_state(state: int, event: str) -> Optional[int]:
+    return transition(state, event).next_state
+
+
+def is_complete() -> bool:
+    """Every (state, event) pair must be specified."""
+    states = (INVALID, SHARED, OWNER, EXCLUSIVE)
+    return all((s, e) in _TABLE for s in states for e in EVENTS)
+
+
+def format_table() -> str:
+    """Render the protocol table for documentation."""
+    lines = [
+        "E/O/S/I protocol transition table (one node's copy of a line)",
+        f"{'state':>6s} {'event':13s} {'next':>5s} {'bus':10s} notes",
+        "-" * 78,
+    ]
+    for t in TRANSITIONS:
+        nxt = state_name(t.next_state) if t.next_state is not None else "-"
+        lines.append(
+            f"{state_name(t.state):>6s} {t.event:13s} {nxt:>5s} "
+            f"{t.bus_action or '-':10s} {t.notes}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Accept-based replacement (paper section 3.1).
+
+"Upon replacement of a cache line in state Exclusive or Owner, a
+snooping-based mechanism is used to find a receiving node that can store
+the replaced cache line without causing further avalanching replacements.
+When choosing what local line to replace, entries in state Shared are
+prioritized over entries in the Owner and Exclusive states.  When choosing
+a receiver of the replacement, nodes with Invalid entries are prioritized
+over those with Shared entries."
+
+Receiver search order implemented here:
+
+1. a node already holding a *Shared copy of the same line* — ownership
+   simply moves there (no data transfer needed);
+2. a node with an Invalid way in the line's set;
+3. a node with a Shared way in the line's set (the S replica is dropped —
+   always safe, an owner exists elsewhere);
+4. *forced cascade* (only when the machine-wide set is full of owners,
+   which is exactly the conflict regime of section 4.2): displace the
+   least-recently-used owner way of another node and relocate it
+   recursively, up to ``relocation_max_hops`` hops;
+5. park the line in the source node's victim overflow buffer (a datum may
+   never be dropped — COMA has no backing memory).
+
+Steps 4-5 are only taken for *mandatory* allocations (gaining write
+ownership, page materialization).  An optional allocation (caching a
+Shared replica on a read miss) that reaches step 4 is abandoned instead:
+the read completes uncached, which is the pressure-valve behaviour that
+produces the read-traffic blow-up the paper observes at 87.5 % memory
+pressure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.rng import derive_seed
+
+from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC
+from repro.coma.node import REMOVED_EVICTED, ComaNode
+from repro.coma.states import EXCLUSIVE, OWNER, SHARED, is_owning
+from repro.mem.setassoc import Entry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coma.machine import ComaMachine
+
+
+def _victim_priority(entry: Entry) -> int:
+    """Local victim classes: Shared before Owner/Exclusive."""
+    return 0 if entry.state == SHARED else 1
+
+
+def _victim_priority_noninclusive(entry: Entry) -> int:
+    """Non-inclusive hierarchies: an owner whose line also sits in a local
+    SLC can give up its AM way for free (ownership stays in the SLC), so
+    it ranks between Shared victims and bare owners."""
+    if entry.state == SHARED:
+        return 0
+    return 1 if entry.aux else 2
+
+
+class ReplacementEngine:
+    """Implements victim selection and owner relocation for one machine."""
+
+    def __init__(self, machine: "ComaMachine") -> None:
+        self.m = machine
+        #: Rotating start point so relocations spread over nodes.
+        self._rotor = 0
+        #: Seeded shuffler for the "random" receiver-policy ablation.
+        self._rng = random.Random(derive_seed(machine.config.seed, "replacement"))
+
+    # ------------------------------------------------------------------
+    def make_room(
+        self, node: ComaNode, line: int, now: int, mandatory: bool
+    ) -> Optional[Entry]:
+        """Return an invalid way of ``line``'s set in ``node``'s AM,
+        evicting/relocating as needed.  Returns None when an optional
+        allocation should be abandoned (see module docstring)."""
+        am = node.am
+        set_idx = am.set_index(line)
+        free = am.free_way(set_idx)
+        if free is not None:
+            return free
+        if self.m.config.am_victim_policy == "lru":
+            prio = None  # state-blind LRU (ablation)
+        elif self.m.config.inclusive:
+            prio = _victim_priority
+        else:
+            prio = _victim_priority_noninclusive
+        victim = am.find_victim(set_idx, prio)
+        if victim.state == SHARED:
+            self.m.drop_shared_copy(node, victim)
+            return victim
+        # Victim is an owner: it must be relocated, never dropped.
+        ok = self.relocate_owner(node, victim, now, mandatory=mandatory, hops=0)
+        if ok:
+            return victim
+        if not mandatory:
+            self.m.counters.uncached_reads += 1
+            return None
+        # Mandatory and nowhere to go: park the victim in overflow.
+        self._park_in_overflow(node, victim)
+        return victim
+
+    # ------------------------------------------------------------------
+    def relocate_owner(
+        self, src: ComaNode, entry: Entry, now: int, mandatory: bool, hops: int
+    ) -> bool:
+        """Move the owner line held by ``entry`` out of ``src``.
+
+        On success the entry has been invalidated in ``src`` (with SLC
+        back-invalidation) and the line table updated.  Traffic and
+        resource occupancy for the relocation transaction are charged; no
+        processor latency is added (replacements proceed in the background
+        of the access that triggered them).
+        """
+        m = self.m
+        line = entry.line
+        assert is_owning(entry.state), f"relocating non-owner {entry!r}"
+        info = m.lines.get(line)
+        assert info.owner_node == src.id and info.owner_loc == LOC_AM
+
+        m.counters.replacements += 1
+
+        # 0. Non-inclusive hierarchy: if a local SLC still holds the line,
+        # ownership simply falls back to the SLC — no traffic at all.
+        # This is the replication-space win of breaking inclusion ([9,2]).
+        if not m.config.inclusive and entry.aux:
+            src.slc_resident[line] = [entry.aux, entry.state]
+            info.owner_loc = LOC_SLC
+            entry.aux = 0
+            src.am.invalidate(entry)
+            m.counters.replace_to_slc += 1
+            return True
+
+        # 1. A sharer node can take over ownership without a data transfer.
+        if info.sharers:
+            dst_id = min(info.sharers)
+            dst = m.nodes[dst_id]
+            s_entry = dst.am.lookup(line)
+            info.sharers.discard(dst_id)
+            new_state = EXCLUSIVE if not info.sharers else OWNER
+            if s_entry is not None:
+                assert s_entry.state == SHARED
+                s_entry.state = new_state
+                dst.am.touch(s_entry)
+                info.owner_loc = LOC_AM
+            else:
+                # Non-inclusive: the sharer holds it in an SLC only.
+                sr = dst.slc_resident[line]
+                sr[1] = new_state
+                info.owner_loc = LOC_SLC
+            info.owner_node = dst_id
+            m.charge_replacement(src, None, now, data=False)
+            m.counters.replace_to_sharer += 1
+            m.strip_node_copy(src, entry, REMOVED_EVICTED)
+            return True
+
+        set_idx = entry.set_idx
+        order = self._node_order(src.id)
+
+        if m.config.replacement_receiver_policy == "random":
+            # Ablation: first receiver in a random order that has *any*
+            # capacity, with no Invalid-before-Shared preference.
+            shuffled = list(order)
+            self._rng.shuffle(shuffled)
+            for dst in shuffled:
+                way = dst.am.free_way(set_idx)
+                if way is not None:
+                    self._transfer(src, entry, dst, way, now)
+                    m.counters.replace_to_invalid += 1
+                    return True
+                for way in dst.am.ways(set_idx):
+                    if way.state == SHARED:
+                        m.drop_shared_copy(dst, way)
+                        self._transfer(src, entry, dst, way, now)
+                        m.counters.replace_to_shared += 1
+                        return True
+        else:
+            # 2. A node with an Invalid way accepts the line.
+            for dst in order:
+                way = dst.am.free_way(set_idx)
+                if way is not None:
+                    self._transfer(src, entry, dst, way, now)
+                    m.counters.replace_to_invalid += 1
+                    return True
+
+            # 3. A node with a Shared way accepts it, dropping the S replica.
+            for dst in order:
+                for way in dst.am.ways(set_idx):
+                    if way.state == SHARED:
+                        m.drop_shared_copy(dst, way)
+                        self._transfer(src, entry, dst, way, now)
+                        m.counters.replace_to_shared += 1
+                        return True
+
+        # 4. Forced cascade: every way of this set, machine-wide, holds an
+        # owner.  Displace another node's LRU owner recursively.
+        if mandatory and hops < m.config.relocation_max_hops:
+            dst, way = self._oldest_owner_way(order, set_idx)
+            if dst is not None and way is not None:
+                m.counters.replace_forced_hops += 1
+                if self.relocate_owner(dst, way, now, mandatory=True, hops=hops + 1):
+                    self._transfer(src, entry, dst, way, now)
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _transfer(
+        self, src: ComaNode, entry: Entry, dst: ComaNode, way: Entry, now: int
+    ) -> None:
+        """Move the owner line in ``entry`` into ``way`` of ``dst``."""
+        m = self.m
+        line = entry.line
+        state = entry.state
+        info = m.lines.get(line)
+        # Charge the replacement transaction: probe + data transfer into
+        # the receiving node (controller + DRAM occupancy).
+        m.charge_replacement(src, dst, now, data=True)
+        m.strip_node_copy(src, entry, REMOVED_EVICTED)
+        dst.am.fill(way, line, state)
+        dst.note_present(line)
+        info.owner_node = dst.id
+        info.owner_loc = LOC_AM
+
+    def _park_in_overflow(self, node: ComaNode, entry: Entry) -> None:
+        m = self.m
+        line = entry.line
+        info = m.lines.get(line)
+        node.overflow[line] = entry.state
+        info.owner_loc = LOC_OVERFLOW
+        m.counters.overflow_parks += 1
+        # The line is still present in the node (overflow), so strip only
+        # the AM way, not the node-level tracking.
+        m.backinvalidate_slcs(node, entry)
+        node.am.invalidate(entry)
+
+    # ------------------------------------------------------------------
+    def _node_order(self, exclude_id: int) -> list[ComaNode]:
+        """Candidate receivers in scan order, excluding ``exclude_id``.
+
+        Delegated to the machine so topology-aware variants (the
+        hierarchical machine prefers in-group receivers) can reorder it.
+        """
+        self._rotor = (self._rotor + 1) % len(self.m.nodes)
+        return self.m.node_scan_order(exclude_id, self._rotor)
+
+    @staticmethod
+    def _oldest_owner_way(order: list[ComaNode], set_idx: int):
+        best_node, best_way = None, None
+        for dst in order:
+            for way in dst.am.ways(set_idx):
+                if is_owning(way.state) and (best_way is None or way.lru < best_way.lru):
+                    best_node, best_way = dst, way
+        return best_node, best_way

@@ -1,0 +1,39 @@
+"""Attraction-memory line states.
+
+The bus-based COMA protocol has "four states per cache line (Exclusive,
+Owner, Shared and Invalid)" (paper section 3.1):
+
+* **Exclusive** — the only copy in the machine, held by the owner node;
+* **Owner**     — the owning copy, with Shared copies elsewhere (the owner
+  cannot observe the last sharer silently dropping its copy, so O never
+  silently reverts to E);
+* **Shared**    — a non-owning replica; safe to drop silently because an
+  owner exists somewhere;
+* **Invalid**   — empty way.
+
+Machine-wide invariant: every materialized line has exactly one owner
+(state E or O) somewhere, and every S copy coexists with that owner.
+Losing the owner copy would lose the datum — COMA has no backing memory —
+so the replacement machinery must relocate owners, never drop them.
+"""
+
+from __future__ import annotations
+
+INVALID = 0
+SHARED = 1
+OWNER = 2
+EXCLUSIVE = 3
+
+_NAMES = {INVALID: "I", SHARED: "S", OWNER: "O", EXCLUSIVE: "E"}
+
+#: States that denote ownership of the (possibly only) authoritative copy.
+OWNING_STATES = (OWNER, EXCLUSIVE)
+
+
+def state_name(state: int) -> str:
+    """Single-letter mnemonic for a state value."""
+    return _NAMES.get(state, f"?{state}")
+
+
+def is_owning(state: int) -> bool:
+    return state == OWNER or state == EXCLUSIVE

@@ -1,0 +1,41 @@
+"""Shared low-level utilities: units, errors, deterministic RNG, configs.
+
+Everything in :mod:`repro` builds on this package.  It has no dependencies
+on any other ``repro`` subpackage.
+"""
+
+from repro.common.units import KiB, MiB, GiB, NS, US, MS
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    ProtocolError,
+    SimulationError,
+    DataLossError,
+)
+from repro.common.rng import make_rng, derive_seed
+from repro.common.config import (
+    CacheGeometry,
+    TimingConfig,
+    MachineConfig,
+    PAPER_MEMORY_PRESSURES,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "NS",
+    "US",
+    "MS",
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "SimulationError",
+    "DataLossError",
+    "make_rng",
+    "derive_seed",
+    "CacheGeometry",
+    "TimingConfig",
+    "MachineConfig",
+    "PAPER_MEMORY_PRESSURES",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the simulator."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached a state that violates an invariant.
+
+    Raised by the internal self-checks; seeing this in a run always
+    indicates a simulator bug, never a property of the workload.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel could not make progress (e.g. deadlock)."""
+
+
+class DataLossError(ProtocolError):
+    """The last copy of a datum was about to be dropped.
+
+    COMA machines have no backing main memory: losing the only copy of a
+    line is unrecoverable, so the replacement machinery asserts against it.
+    """

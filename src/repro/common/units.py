@@ -1,0 +1,35 @@
+"""Unit constants.
+
+Sizes are plain byte counts; times are integer nanoseconds.  The whole
+simulator works in integer nanoseconds so that runs are exactly
+reproducible (no float drift in clocks).
+"""
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: One nanosecond — the base time unit of the simulator.
+NS = 1
+US = 1000 * NS
+MS = 1000 * US
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count human-readably (``"40.5 MiB"``)."""
+    if n >= GiB:
+        return f"{n / GiB:.2f} GiB"
+    if n >= MiB:
+        return f"{n / MiB:.2f} MiB"
+    if n >= KiB:
+        return f"{n / KiB:.2f} KiB"
+    return f"{n} B"
+
+
+def fmt_time(ns: int) -> str:
+    """Render an integer-nanosecond duration human-readably."""
+    if ns >= MS:
+        return f"{ns / MS:.3f} ms"
+    if ns >= US:
+        return f"{ns / US:.3f} us"
+    return f"{ns} ns"

@@ -1,0 +1,6 @@
+"""Processor-side models: the in-order core state and the write buffer."""
+
+from repro.cpu.writebuffer import WriteBuffer
+from repro.cpu.processor import Processor
+
+__all__ = ["WriteBuffer", "Processor"]

@@ -1,0 +1,65 @@
+"""Per-processor execution state.
+
+The paper's cores are "4-way superscalar and run at 250 MHz ... No
+pipeline effects or other stalls have been modeled — the processors
+execute 4 instructions of any kind per cycle but stall on read misses."
+The instruction-rate arithmetic lives in
+:meth:`repro.common.config.TimingConfig.instructions_ns`; this class holds
+the clock, the stall accounting and the write buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.config import TimingConfig
+from repro.cpu.writebuffer import WriteBuffer
+from repro.timing.accounting import StallAccounting
+
+
+class Processor:
+    """One simulated processor executing a workload thread."""
+
+    __slots__ = (
+        "pid",
+        "clock",
+        "acct",
+        "wb",
+        "program",
+        "done",
+        "blocked",
+        "block_start",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        timing: TimingConfig,
+        program: Optional[Iterator] = None,
+        wb_coalescing: bool = False,
+    ) -> None:
+        self.pid = pid
+        self.clock = 0
+        self.acct = StallAccounting()
+        self.wb = WriteBuffer(timing.write_buffer_entries, coalescing=wb_coalescing)
+        self.program = program
+        self.done = program is None
+        self.blocked = False
+        #: Time at which the processor blocked (lock/barrier wait), for
+        #: charging the wait to the sync category on wakeup.
+        self.block_start = 0
+
+    def block(self) -> None:
+        self.blocked = True
+        self.block_start = self.clock
+
+    def unblock(self, resume_time: int) -> None:
+        """Wake up at ``resume_time``, charging the wait to sync."""
+        self.blocked = False
+        if resume_time > self.clock:
+            self.acct.sync += resume_time - self.clock
+            self.clock = resume_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        st = "done" if self.done else ("blocked" if self.blocked else "ready")
+        return f"Processor({self.pid}, t={self.clock}, {st})"

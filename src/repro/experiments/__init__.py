@@ -1,0 +1,5 @@
+"""Experiment harness: one module per paper table/figure plus ablations."""
+
+from repro.experiments.runner import RunSpec, build_simulation, run_spec, clear_memory_cache
+
+__all__ = ["RunSpec", "build_simulation", "run_spec", "clear_memory_cache"]

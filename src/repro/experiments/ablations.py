@@ -1,0 +1,324 @@
+"""Text-level ablations from section 4.3 and the replication analysis.
+
+* **Bandwidth** — "In the original configuration ... 5 of the
+  applications show significant performance degradation for 4-way
+  clustering at 50% memory pressure.  If the DRAM bandwidth is doubled
+  ... three applications still show a significant performance
+  degradation. ... If the DRAM bandwidth is doubled again and the node
+  controller gets twice the default bandwidth, all applications except
+  for the non-optimized LU show similar or better performance."
+* **Bus** — "if the global bus bandwidth is halved, clustering becomes
+  even more efficient since the penalty for remote accesses is
+  increased."
+* **Replication thresholds** — section 4.2's closed-form analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytic.replication import paper_thresholds
+from repro.experiments.runner import RunSpec, run_spec
+from repro.workloads.registry import paper_workloads
+
+#: The bandwidth tiers of section 4.3: (label, dram factor, nc factor).
+BANDWIDTH_TIERS: list[tuple[str, float, float]] = [
+    ("1x dram", 1.0, 1.0),
+    ("2x dram", 2.0, 1.0),
+    ("4x dram + 2x nc", 4.0, 2.0),
+]
+
+
+@dataclass(frozen=True)
+class BandwidthRow:
+    app: str
+    tier: str
+    time_1p: int
+    time_4p: int
+
+    @property
+    def slowdown_4p(self) -> float:
+        """Execution-time ratio of 4-way clustering vs single-processor
+        nodes (>1 means clustering hurts)."""
+        return self.time_4p / self.time_1p if self.time_1p else 1.0
+
+
+def run_bandwidth_ablation(
+    workloads: list[str] | None = None,
+    memory_pressure: float = 8 / 16,
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+) -> list[BandwidthRow]:
+    rows = []
+    for app in workloads or paper_workloads():
+        for label, dram, nc in BANDWIDTH_TIERS:
+            times = {}
+            for ppn in (1, 4):
+                r = run_spec(
+                    RunSpec(
+                        workload=app,
+                        procs_per_node=ppn,
+                        memory_pressure=memory_pressure,
+                        dram_bandwidth_factor=dram,
+                        nc_bandwidth_factor=nc,
+                        scale=scale,
+                        seed=seed,
+                    ),
+                    use_cache=use_cache,
+                )
+                times[ppn] = r.elapsed_ns
+            rows.append(BandwidthRow(app, label, times[1], times[4]))
+    return rows
+
+
+@dataclass(frozen=True)
+class BusRow:
+    app: str
+    slowdown_full_bus: float  # 4p/1p with normal bus
+    slowdown_half_bus: float  # 4p/1p with halved bus bandwidth
+
+    @property
+    def clustering_gains_more(self) -> bool:
+        """Halving the bus should make clustering *relatively* better."""
+        return self.slowdown_half_bus <= self.slowdown_full_bus
+
+
+def run_bus_ablation(
+    workloads: list[str] | None = None,
+    memory_pressure: float = 8 / 16,
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+) -> list[BusRow]:
+    apps = workloads or ["barnes", "fft", "lu_noncontig"]
+    rows = []
+    for app in apps:
+        ratio = {}
+        for bus_factor in (1.0, 0.5):
+            times = {}
+            for ppn in (1, 4):
+                r = run_spec(
+                    RunSpec(
+                        workload=app,
+                        procs_per_node=ppn,
+                        memory_pressure=memory_pressure,
+                        bus_bandwidth_factor=bus_factor,
+                        dram_bandwidth_factor=2.0,
+                        scale=scale,
+                        seed=seed,
+                    ),
+                    use_cache=use_cache,
+                )
+                times[ppn] = r.elapsed_ns
+            ratio[bus_factor] = times[4] / times[1] if times[1] else 1.0
+        rows.append(BusRow(app, ratio[1.0], ratio[0.5]))
+    return rows
+
+
+@dataclass(frozen=True)
+class InclusionRow:
+    app: str
+    traffic_inclusive: int
+    traffic_noninclusive: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.traffic_inclusive:
+            return 0.0
+        return 1 - self.traffic_noninclusive / self.traffic_inclusive
+
+
+def run_inclusion_ablation(
+    workloads: list[str] | None = None,
+    memory_pressure: float = 14 / 16,
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+) -> list[InclusionRow]:
+    """Section 4.2's pointer: "A way to overcome this limitation is to
+    break the inclusion in the cache hierarchy" — compare traffic with the
+    inclusive (default) and non-inclusive hierarchies at 87.5 % MP."""
+    apps = workloads or ["barnes", "radiosity", "volrend"]
+    rows = []
+    for app in apps:
+        traffic = {}
+        for inclusive in (True, False):
+            r = run_spec(
+                RunSpec(
+                    workload=app,
+                    procs_per_node=4,
+                    memory_pressure=memory_pressure,
+                    inclusive=inclusive,
+                    scale=scale,
+                    seed=seed,
+                ),
+                use_cache=use_cache,
+            )
+            traffic[inclusive] = r.total_traffic_bytes
+        rows.append(InclusionRow(app, traffic[True], traffic[False]))
+    return rows
+
+
+@dataclass(frozen=True)
+class PolicyRow:
+    """Design-choice ablation for the accept-based replacement rules."""
+
+    app: str
+    policy: str
+    traffic_bytes: int
+    replacements: int
+    elapsed_ns: int
+
+
+#: (label, victim policy, receiver policy) combinations to compare.
+REPLACEMENT_POLICIES: list[tuple[str, str, str]] = [
+    ("paper (S-first, accept)", "shared_first", "accept"),
+    ("LRU victim", "lru", "accept"),
+    ("random receiver", "shared_first", "random"),
+    ("both naive", "lru", "random"),
+]
+
+
+def run_replacement_policy_ablation(
+    workloads: list[str] | None = None,
+    memory_pressure: float = 13 / 16,
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+) -> list[PolicyRow]:
+    """Compare the paper's replacement rules (Shared victims first,
+    Invalid-before-Shared receivers) against state-blind variants at high
+    memory pressure, where replacement behaviour dominates (section 2:
+    "The replacement behavior is a key factor")."""
+    apps = workloads or ["barnes", "cholesky", "radix"]
+    rows = []
+    for app in apps:
+        for label, victim, receiver in REPLACEMENT_POLICIES:
+            r = run_spec(
+                RunSpec(
+                    workload=app,
+                    procs_per_node=4,
+                    memory_pressure=memory_pressure,
+                    am_victim_policy=victim,
+                    replacement_receiver_policy=receiver,
+                    scale=scale,
+                    seed=seed,
+                ),
+                use_cache=use_cache,
+            )
+            rows.append(
+                PolicyRow(
+                    app,
+                    label,
+                    r.total_traffic_bytes,
+                    r.counters["replacements"],
+                    r.elapsed_ns,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class ConsistencyRow:
+    """RC vs SC vs RC+coalescing (why the paper assumes release
+    consistency with a write buffer)."""
+
+    app: str
+    time_rc: int
+    time_sc: int
+    time_rc_coalescing: int
+    coalesced_writes: int
+
+    @property
+    def sc_slowdown(self) -> float:
+        return self.time_sc / self.time_rc if self.time_rc else 1.0
+
+
+def run_consistency_ablation(
+    workloads: list[str] | None = None,
+    memory_pressure: float = 8 / 16,
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+) -> list[ConsistencyRow]:
+    apps = workloads or ["radix", "ocean_noncontig", "fft"]
+    rows = []
+    for app in apps:
+        base = RunSpec(
+            workload=app, memory_pressure=memory_pressure, scale=scale, seed=seed
+        )
+        rc = run_spec(base, use_cache=use_cache)
+        sc = run_spec(base.with_(consistency="sc"), use_cache=use_cache)
+        co = run_spec(base.with_(write_buffer_coalescing=True), use_cache=use_cache)
+        rows.append(
+            ConsistencyRow(
+                app,
+                rc.elapsed_ns,
+                sc.elapsed_ns,
+                co.elapsed_ns,
+                co.counters["wb_coalesced"],
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class NumaRow:
+    app: str
+    coma_traffic: int
+    numa_traffic: int
+    coma_time: int
+    numa_time: int
+
+    @property
+    def traffic_ratio(self) -> float:
+        """NUMA traffic / COMA traffic (>1: COMA's migration pays off)."""
+        return self.numa_traffic / self.coma_traffic if self.coma_traffic else 1.0
+
+
+def run_numa_comparison(
+    workloads: list[str] | None = None,
+    memory_pressure: float = 8 / 16,
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+) -> list[NumaRow]:
+    """COMA vs CC-NUMA on the same workloads (section 2 context: COMA
+    converts repeated remote misses into attraction-memory hits)."""
+    apps = workloads or ["fft", "ocean_noncontig", "radix"]
+    rows = []
+    for app in apps:
+        res = {}
+        for machine in ("coma", "numa"):
+            res[machine] = run_spec(
+                RunSpec(
+                    workload=app,
+                    machine=machine,
+                    procs_per_node=1,
+                    memory_pressure=memory_pressure,
+                    scale=scale,
+                    seed=seed,
+                ),
+                use_cache=use_cache,
+            )
+        rows.append(
+            NumaRow(
+                app,
+                res["coma"].total_traffic_bytes,
+                res["numa"].total_traffic_bytes,
+                res["coma"].elapsed_ns,
+                res["numa"].elapsed_ns,
+            )
+        )
+    return rows
+
+
+def format_replication_thresholds() -> str:
+    lines = [
+        "Replication thresholds (section 4.2): memory pressure above which a",
+        "line can no longer be replicated over all nodes",
+    ]
+    for label, frac in paper_thresholds().items():
+        lines.append(f"  {label:18s} {frac} = {100 * float(frac):5.1f}%")
+    return "\n".join(lines)

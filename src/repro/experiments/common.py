@@ -1,0 +1,63 @@
+"""Shared definitions for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+#: Memory pressures of the sweep (paper section 3.1), label -> value.
+MP_SWEEP: list[tuple[str, float]] = [
+    ("6%", 1 / 16),
+    ("50%", 8 / 16),
+    ("75%", 12 / 16),
+    ("81%", 13 / 16),
+    ("87%", 14 / 16),
+]
+
+#: The eight applications "where clustering consistently is effective"
+#: (Figure 3).
+FIGURE3_APPS = [
+    "cholesky",
+    "fft",
+    "lu_noncontig",
+    "ocean_contig",
+    "ocean_noncontig",
+    "radix",
+    "water_n2",
+    "water_sp",
+]
+
+#: The six applications whose conflict misses blow up at 87.5 % MP
+#: (Figure 4).
+FIGURE4_APPS = [
+    "barnes",
+    "fmm",
+    "lu_contig",
+    "radiosity",
+    "raytrace",
+    "volrend",
+]
+
+
+def bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """ASCII bar for report rendering; clamps to [0, 1.5] of width."""
+    n = int(max(0.0, min(1.5, fraction)) * width)
+    return fill * n
+
+
+def stacked_bar(parts: dict[str, float], total_scale: float, width: int = 40) -> str:
+    """Render a stacked bar: one glyph class per segment.
+
+    ``parts`` values are absolute; ``total_scale`` is the value that maps
+    to the full ``width``.
+    """
+    glyphs = {"read": "R", "write": "W", "replace": "X",
+              "busy": "B", "slc": "s", "am": "A", "remote": "r"}
+    out = []
+    for key, value in parts.items():
+        n = int(round(width * value / total_scale)) if total_scale > 0 else 0
+        out.append(glyphs.get(key, "?") * n)
+    return "".join(out)
+
+
+def fmt_pct(x: float) -> str:
+    return f"{100 * x:5.1f}%"

@@ -1,0 +1,123 @@
+"""Export figure/table data as CSV or JSON for external plotting.
+
+The text renderers in the figure modules are for terminals; these
+exporters produce machine-readable data (one row per bar/point) so the
+figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.experiments.figure2 import Figure2Row
+from repro.experiments.figure3 import TrafficSweep
+from repro.experiments.figure5 import Figure5Bar
+from repro.experiments.table1 import Table1Row
+
+
+def _csv(header: list[str], rows: Iterable[list]) -> str:
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(header)
+    for row in rows:
+        w.writerow(row)
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+def figure2_csv(rows: list[Figure2Row]) -> str:
+    return _csv(
+        ["app", "rnmr_1p", "rnmr_2p", "rnmr_4p", "relative_2p", "relative_4p"],
+        (
+            [r.app, r.rnmr_1, r.rnmr_2, r.rnmr_4, r.relative_2, r.relative_4]
+            for r in rows
+        ),
+    )
+
+
+def traffic_csv(sweep: TrafficSweep) -> str:
+    return _csv(
+        ["app", "procs_per_node", "memory_pressure", "am_assoc",
+         "read_bytes", "write_bytes", "replace_bytes", "total_bytes"],
+        (
+            [
+                p.app,
+                p.procs_per_node,
+                p.mp_label,
+                p.am_assoc,
+                p.traffic_bytes.get("read", 0),
+                p.traffic_bytes.get("write", 0),
+                p.traffic_bytes.get("replace", 0),
+                p.total,
+            ]
+            for p in sweep.points
+        ),
+    )
+
+
+def figure5_csv(bars: list[Figure5Bar]) -> str:
+    return _csv(
+        ["app", "configuration", "busy_ns", "slc_ns", "am_ns", "remote_ns",
+         "total_ns"],
+        (
+            [
+                b.app,
+                b.label,
+                b.breakdown["busy"],
+                b.breakdown["slc"],
+                b.breakdown["am"],
+                b.breakdown["remote"],
+                b.total,
+            ]
+            for b in bars
+        ),
+    )
+
+
+def table1_csv(rows: list[Table1Row]) -> str:
+    return _csv(
+        ["app", "description", "paper_ws_mb", "our_ws_bytes"],
+        ([r.app, r.description, r.paper_ws_mb, r.our_ws_bytes] for r in rows),
+    )
+
+
+# ----------------------------------------------------------------------
+def figure2_json(rows: list[Figure2Row]) -> str:
+    return json.dumps(
+        [
+            {
+                "app": r.app,
+                "rnmr": {"1p": r.rnmr_1, "2p": r.rnmr_2, "4p": r.rnmr_4},
+                "relative": {"2p": r.relative_2, "4p": r.relative_4},
+            }
+            for r in rows
+        ],
+        indent=2,
+    )
+
+
+def traffic_json(sweep: TrafficSweep) -> str:
+    return json.dumps(
+        [
+            {
+                "app": p.app,
+                "procs_per_node": p.procs_per_node,
+                "memory_pressure": p.mp_label,
+                "am_assoc": p.am_assoc,
+                "traffic_bytes": p.traffic_bytes,
+            }
+            for p in sweep.points
+        ],
+        indent=2,
+    )
+
+
+def figure5_json(bars: list[Figure5Bar]) -> str:
+    return json.dumps(
+        [{"app": b.app, "configuration": b.label, "breakdown_ns": b.breakdown}
+         for b in bars],
+        indent=2,
+    )

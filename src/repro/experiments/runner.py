@@ -1,0 +1,173 @@
+"""Run specification, assembly and result caching.
+
+A :class:`RunSpec` fully determines a simulation (workload, clustering
+degree, memory pressure, associativity, bandwidth factors, seed...), so
+results are cached — in memory for the process, and as JSON files under
+``.repro_cache/`` so the benchmark harness can regenerate figures without
+re-simulating unchanged points.  Set ``REPRO_CACHE_DIR`` to relocate the
+disk cache or ``REPRO_NO_DISK_CACHE=1`` to disable it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, replace
+from fractions import Fraction
+from pathlib import Path
+from typing import Optional
+
+from repro.coma.machine import ComaMachine
+from repro.common.config import MachineConfig, TimingConfig
+from repro.mem.address import AddressSpace
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulation
+from repro.sync.primitives import SyncSpace
+from repro.workloads.registry import get_workload
+
+#: Bump when simulator semantics change, invalidating old cached results.
+CACHE_VERSION = 5
+
+_memory_cache: dict[str, SimulationResult] = {}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation run."""
+
+    workload: str
+    #: "coma" (the paper's machine), "hcoma" (hierarchical DDM-style
+    #: COMA), "numa" (CC-NUMA baseline) or "uma" (central-memory SMP).
+    machine: str = "coma"
+    #: Group count for the hierarchical machine.
+    hierarchy_groups: int = 4
+    procs_per_node: int = 1
+    memory_pressure: float = 0.5
+    am_assoc: int = 4
+    scale: float = 1.0
+    n_processors: int = 16
+    seed: int = 1997
+    page_size: int = 2048
+    dram_bandwidth_factor: float = 1.0
+    nc_bandwidth_factor: float = 1.0
+    bus_bandwidth_factor: float = 1.0
+    inclusive: bool = True
+    track_miss_classes: bool = True
+    am_victim_policy: str = "shared_first"
+    replacement_receiver_policy: str = "accept"
+    consistency: str = "rc"
+    write_buffer_coalescing: bool = False
+
+    def key(self) -> str:
+        payload = json.dumps(
+            {"v": CACHE_VERSION, **asdict(self)}, sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def with_(self, **kwargs) -> "RunSpec":
+        return replace(self, **kwargs)
+
+
+def _pressure_fraction(mp: float) -> Fraction:
+    """Express a float memory pressure exactly enough (k/16-style values)."""
+    return Fraction(mp).limit_denominator(4096)
+
+
+def build_simulation(spec: RunSpec) -> Simulation:
+    """Assemble workload + machine + simulator for ``spec`` (uncached)."""
+    wl = get_workload(
+        spec.workload,
+        n_threads=spec.n_processors,
+        scale=spec.scale,
+        seed=spec.seed,
+    )
+    space = AddressSpace(page_size=spec.page_size)
+    wl.allocate(space)
+    sync = SyncSpace(space, 64, wl.n_locks, wl.n_barriers)
+    working_set = space.allocated_bytes
+
+    timing = TimingConfig(
+        dram_bandwidth_factor=spec.dram_bandwidth_factor,
+        nc_bandwidth_factor=spec.nc_bandwidth_factor,
+        bus_bandwidth_factor=spec.bus_bandwidth_factor,
+    )
+    config = MachineConfig(
+        n_processors=spec.n_processors,
+        procs_per_node=spec.procs_per_node,
+        page_size=spec.page_size,
+        am_assoc=spec.am_assoc,
+        memory_pressure=_pressure_fraction(spec.memory_pressure),
+        inclusive=spec.inclusive,
+        track_miss_classes=spec.track_miss_classes,
+        am_victim_policy=spec.am_victim_policy,
+        replacement_receiver_policy=spec.replacement_receiver_policy,
+        consistency=spec.consistency,
+        write_buffer_coalescing=spec.write_buffer_coalescing,
+        seed=spec.seed,
+        timing=timing,
+    ).sized_for(working_set)
+    if spec.machine == "coma":
+        machine = ComaMachine(config, space)
+    elif spec.machine == "hcoma":
+        from repro.coma.hierarchy import HierarchicalComaMachine
+
+        machine = HierarchicalComaMachine(
+            config, space, n_groups=spec.hierarchy_groups
+        )
+    elif spec.machine == "numa":
+        from repro.numa.machine import NumaMachine
+
+        machine = NumaMachine(config, space)
+    elif spec.machine == "uma":
+        from repro.uma.machine import UmaMachine
+
+        machine = UmaMachine(config, space)
+    else:
+        raise ValueError(f"unknown machine kind {spec.machine!r}")
+    programs = [wl.thread(t) for t in range(spec.n_processors)]
+    return Simulation(machine, programs, sync)
+
+
+# ----------------------------------------------------------------------
+# caching
+# ----------------------------------------------------------------------
+
+def _cache_dir() -> Optional[Path]:
+    if os.environ.get("REPRO_NO_DISK_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    path = Path(root)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return path
+
+
+def clear_memory_cache() -> None:
+    _memory_cache.clear()
+
+
+def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
+    """Run ``spec``, consulting the memory and disk caches."""
+    key = spec.key()
+    if use_cache and key in _memory_cache:
+        return _memory_cache[key]
+    cache_dir = _cache_dir() if use_cache else None
+    if cache_dir is not None:
+        f = cache_dir / f"{key}.json"
+        if f.exists():
+            try:
+                result = SimulationResult.from_dict(json.loads(f.read_text()))
+                _memory_cache[key] = result
+                return result
+            except (ValueError, TypeError, KeyError):
+                f.unlink(missing_ok=True)  # stale/corrupt cache entry
+    sim = build_simulation(spec)
+    result = sim.run()
+    if use_cache:
+        _memory_cache[key] = result
+        if cache_dir is not None:
+            (cache_dir / f"{key}.json").write_text(json.dumps(result.to_dict()))
+    return result

@@ -1,0 +1,8 @@
+"""Memory primitives: simulated address space, set-associative arrays,
+fully-associative shadow tags for miss classification."""
+
+from repro.mem.address import AddressSpace, Segment
+from repro.mem.setassoc import Entry, SetAssocArray
+from repro.mem.shadow import ShadowTags
+
+__all__ = ["AddressSpace", "Segment", "Entry", "SetAssocArray", "ShadowTags"]

@@ -1,0 +1,109 @@
+"""Simulated shared address space with consecutive on-demand paging.
+
+The paper (section 3): "Data pages are allocated consecutively on demand,
+as they are accessed by the processors.  Allocation of a page is done
+instantly, without any delay for the processor."
+
+Workloads carve named *segments* out of a flat virtual address space; the
+machine materializes a page (inserting its lines into the first toucher's
+attraction memory) the first time any address inside it is accessed.  The
+working set of a run is ``touched_pages * page_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named, contiguous region of the simulated address space."""
+
+    name: str
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def addr(self, offset: int) -> int:
+        """Byte address at ``offset`` into the segment, bounds-checked."""
+        if not 0 <= offset < self.nbytes:
+            raise IndexError(
+                f"offset {offset} out of range for segment {self.name!r} "
+                f"({self.nbytes} bytes)"
+            )
+        return self.base + offset
+
+
+class AddressSpace:
+    """Flat virtual address space shared by all processors.
+
+    Segments are allocated consecutively and page-aligned, so the virtual
+    extent — and therefore the working set used to size the caches — is a
+    deterministic function of the workload's allocation sequence.
+    """
+
+    def __init__(self, page_size: int = 2048) -> None:
+        if page_size < 1 or page_size & (page_size - 1):
+            raise ConfigError("page_size must be a positive power of two")
+        self.page_size = page_size
+        self._next = 0
+        self.segments: list[Segment] = []
+        #: page index -> node id that first touched it
+        self.page_home: dict[int, int] = {}
+        #: Called with (page_index, node_id) when a page is materialized.
+        self.on_page_touch: Optional[Callable[[int, int], None]] = None
+
+    def alloc(self, nbytes: int, name: str = "") -> Segment:
+        """Allocate a page-aligned segment of ``nbytes`` bytes."""
+        if nbytes <= 0:
+            raise ConfigError(f"segment size must be positive, got {nbytes}")
+        seg = Segment(name=name or f"seg{len(self.segments)}", base=self._next, nbytes=nbytes)
+        pages = -(-nbytes // self.page_size)
+        self._next += pages * self.page_size
+        self.segments.append(seg)
+        return seg
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total virtual bytes allocated (page granular)."""
+        return self._next
+
+    @property
+    def touched_bytes(self) -> int:
+        """Working set actually touched so far (page granular)."""
+        return len(self.page_home) * self.page_size
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.page_size
+
+    def ensure_page(self, addr: int, node_id: int) -> bool:
+        """Materialize the page containing ``addr`` on first touch.
+
+        Returns True when this call allocated the page (i.e. first touch).
+        The allocating node becomes the page's initial location; in the
+        COMA machine its lines appear there in Exclusive state.
+        """
+        page = addr // self.page_size
+        if page in self.page_home:
+            return False
+        self.page_home[page] = node_id
+        if self.on_page_touch is not None:
+            self.on_page_touch(page, node_id)
+        return True
+
+    def lines_of_page(self, page: int, line_size: int):
+        """Iterate the line addresses of ``page``."""
+        base = page * self.page_size // line_size
+        return range(base, base + self.page_size // line_size)
+
+    def segment_named(self, name: str) -> Segment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(name)

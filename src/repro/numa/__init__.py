@@ -1,0 +1,6 @@
+"""CC-NUMA baseline machine (for COMA-vs-NUMA context benches)."""
+
+from repro.numa.machine import NumaMachine
+from repro.numa.directory import Directory, DirEntry
+
+__all__ = ["NumaMachine", "Directory", "DirEntry"]

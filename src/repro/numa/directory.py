@@ -1,0 +1,46 @@
+"""Full-map directory for the CC-NUMA baseline.
+
+Each line's home node keeps a full-map entry: the set of processors whose
+SLC caches the line and whether one of them holds it modified.  This is
+bookkeeping state of the *modeled* machine (unlike the COMA machine's
+line table, which is simulator-internal); NUMA directories are what the
+COMA design avoids by making all memory a cache.
+"""
+
+from __future__ import annotations
+
+
+class DirEntry:
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        #: processors caching the line (clean or dirty)
+        self.sharers: set[int] = set()
+        #: processor holding the line modified, or None
+        self.owner: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DirEntry(sharers={sorted(self.sharers)}, owner={self.owner})"
+
+
+class Directory:
+    """line -> DirEntry map, allocated on demand."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, DirEntry] = {}
+
+    def entry(self, line: int) -> DirEntry:
+        e = self._entries.get(line)
+        if e is None:
+            e = DirEntry()
+            self._entries[line] = e
+        return e
+
+    def maybe(self, line: int) -> DirEntry | None:
+        return self._entries.get(line)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self):
+        return self._entries.items()

@@ -1,0 +1,35 @@
+"""Program-driven simulation kernel."""
+
+from repro.sim.events import (
+    EV_READ,
+    EV_WRITE,
+    EV_COMPUTE,
+    EV_LOCK,
+    EV_UNLOCK,
+    EV_BARRIER,
+    read,
+    write,
+    compute,
+    lock,
+    unlock,
+    barrier,
+)
+from repro.sim.simulator import Simulation
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "EV_READ",
+    "EV_WRITE",
+    "EV_COMPUTE",
+    "EV_LOCK",
+    "EV_UNLOCK",
+    "EV_BARRIER",
+    "read",
+    "write",
+    "compute",
+    "lock",
+    "unlock",
+    "barrier",
+    "Simulation",
+    "SimulationResult",
+]

@@ -1,0 +1,53 @@
+"""The event vocabulary emitted by workload threads.
+
+A workload thread is a Python generator yielding plain tuples; the first
+element is a one-character opcode (kept as tuples, not objects, because
+the simulator dispatches hundreds of thousands of them per run):
+
+========  =======================  =========================================
+opcode    tuple                    meaning
+========  =======================  =========================================
+``"r"``   ``("r", addr)``          load one word at byte address ``addr``
+``"w"``   ``("w", addr)``          store one word at byte address ``addr``
+``"c"``   ``("c", n)``             execute ``n`` non-memory instructions
+``"l"``   ``("l", lock_id)``       acquire lock ``lock_id``
+``"u"``   ``("u", lock_id)``       release lock ``lock_id``
+``"b"``   ``("b", barrier_id)``    sense-reversing barrier
+========  =======================  =========================================
+
+The helper constructors below exist for readability in non-hot workload
+code; hot loops yield the tuples directly.
+"""
+
+from __future__ import annotations
+
+EV_READ = "r"
+EV_WRITE = "w"
+EV_COMPUTE = "c"
+EV_LOCK = "l"
+EV_UNLOCK = "u"
+EV_BARRIER = "b"
+
+
+def read(addr: int) -> tuple[str, int]:
+    return (EV_READ, addr)
+
+
+def write(addr: int) -> tuple[str, int]:
+    return (EV_WRITE, addr)
+
+
+def compute(n_instructions: int) -> tuple[str, int]:
+    return (EV_COMPUTE, n_instructions)
+
+
+def lock(lock_id: int) -> tuple[str, int]:
+    return (EV_LOCK, lock_id)
+
+
+def unlock(lock_id: int) -> tuple[str, int]:
+    return (EV_UNLOCK, lock_id)
+
+
+def barrier(barrier_id: int) -> tuple[str, int]:
+    return (EV_BARRIER, barrier_id)

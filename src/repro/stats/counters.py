@@ -1,0 +1,87 @@
+"""Event counters accumulated by the machine during a run.
+
+Read misses at node level are classified (cold / coherence / conflict /
+capacity) to support the paper's section-4.2 analysis; the other counters
+feed the RNMr metric (Figure 2), the traffic breakdowns (Figures 3-4) and
+general sanity checks in the test suite.
+"""
+
+from __future__ import annotations
+
+_FIELDS = (
+    # processor-issued operations
+    "reads",
+    "writes",
+    "atomics",
+    # hit levels for reads
+    "l1_read_hits",
+    "slc_read_hits",
+    "am_read_hits",
+    "overflow_read_hits",
+    # node-level misses
+    "node_read_misses",
+    "node_write_misses",
+    # read node miss classification
+    "read_miss_cold",
+    "read_miss_coherence",
+    "read_miss_conflict",
+    "read_miss_capacity",
+    # protocol events
+    "upgrades",
+    "read_exclusive",
+    "invalidations_sent",
+    "back_invalidations",
+    # replacement machinery
+    "replacements",
+    "replace_to_sharer",
+    "replace_to_invalid",
+    "replace_to_shared",
+    "replace_forced_hops",
+    "replace_to_slc",
+    "overflow_parks",
+    "shared_drops",
+    "uncached_reads",
+    "slc_neighbor_hits",
+    "slc_owner_reinserts",
+    # paging & sync
+    "pages_allocated",
+    "lock_acquires",
+    "barrier_episodes",
+    # write-back / write buffer
+    "slc_writebacks",
+    "wb_coalesced",
+)
+
+
+class Counters:
+    """A flat bag of integer event counters."""
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        for f in _FIELDS:
+            setattr(self, f, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f: getattr(self, f) for f in _FIELDS}
+
+    def merged(self, other: "Counters") -> "Counters":
+        out = Counters()
+        for f in _FIELDS:
+            setattr(out, f, getattr(self, f) + getattr(other, f))
+        return out
+
+    # -- derived convenience ------------------------------------------------
+
+    @property
+    def read_miss_classified(self) -> int:
+        return (
+            self.read_miss_cold
+            + self.read_miss_coherence
+            + self.read_miss_conflict
+            + self.read_miss_capacity
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        nz = {k: v for k, v in self.as_dict().items() if v}
+        return f"Counters({nz})"

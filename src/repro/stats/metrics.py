@@ -1,0 +1,62 @@
+"""Derived metrics matching the paper's reported quantities."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.results import SimulationResult
+
+
+def read_node_miss_rate(result: SimulationResult) -> float:
+    """RNMr — fraction of all processor reads that miss in the node."""
+    return result.read_node_miss_rate
+
+
+def relative_rnmr(clustered: SimulationResult, base: SimulationResult) -> float:
+    """Figure 2's metric: RNMr of a clustered system divided by the RNMr
+    of the non-clustered system (1.0 = no change, lower is better)."""
+    b = base.read_node_miss_rate
+    if b == 0:
+        return 1.0 if clustered.read_node_miss_rate == 0 else float("inf")
+    return clustered.read_node_miss_rate / b
+
+
+def traffic_by_class(
+    result: SimulationResult, normalize_to: float | None = None
+) -> dict[str, float]:
+    """Bus traffic split read/write/replace (Figures 3-4).
+
+    With ``normalize_to`` set, values are scaled so the *total* of the
+    reference value maps to 100 (the figures normalize every group of bars
+    to its tallest bar).
+    """
+    t = {k: float(v) for k, v in result.traffic_bytes.items()}
+    if normalize_to:
+        t = {k: 100.0 * v / normalize_to for k, v in t.items()}
+    return t
+
+
+def time_breakdown_figure5(result: SimulationResult) -> dict[str, float]:
+    """Execution time split Busy / SLC / AM / Remote (Figure 5), in ns
+    averaged over processors.
+
+    The paper's four categories subsume everything: its spin loops execute
+    instructions (Busy) and its release-consistency write stalls are
+    negligible.  We therefore fold our separately-tracked ``sync`` and
+    ``write`` categories into Busy for this view; the raw six-way split
+    remains available as ``SimulationResult.mean_stalls``.
+    """
+    m = result.mean_stalls
+    return {
+        "busy": m["busy"] + m["sync"] + m["write"],
+        "slc": m["slc"],
+        "am": m["am"],
+        "remote": m["remote"],
+    }
+
+
+def normalized_breakdown(breakdown: Mapping[str, float], reference_total: float) -> dict[str, float]:
+    """Scale a time breakdown to percent of ``reference_total``."""
+    if reference_total <= 0:
+        return {k: 0.0 for k in breakdown}
+    return {k: 100.0 * v / reference_total for k, v in breakdown.items()}

@@ -1,0 +1,48 @@
+"""Plain-text report rendering for single runs (used by the CLI)."""
+
+from __future__ import annotations
+
+from repro.common.units import fmt_bytes, fmt_time
+from repro.sim.results import SimulationResult
+from repro.stats.metrics import time_breakdown_figure5
+
+
+def render_run_report(result: SimulationResult) -> str:
+    """Human-readable summary of one simulation run."""
+    cfg = result.config_summary
+    c = result.counters
+    lines = [
+        "=== simulation run ===",
+        f"machine      : {cfg.get('n_processors')} processors, "
+        f"{cfg.get('procs_per_node')} per node, "
+        f"MP {100 * float(cfg.get('memory_pressure', 0)):.1f}%, "
+        f"AM {cfg.get('am_assoc')}-way"
+        + ("" if cfg.get("inclusive", True) else ", non-inclusive"),
+        f"working set  : {fmt_bytes(result.allocated_bytes)} allocated, "
+        f"{fmt_bytes(result.touched_bytes)} touched",
+        f"exec time    : {fmt_time(result.elapsed_ns)}",
+        f"reads        : {c['reads']} "
+        f"(L1 {c['l1_read_hits']}, SLC {c['slc_read_hits']}, "
+        f"AM {c['am_read_hits']}, node misses {c['node_read_misses']})",
+        f"RNMr         : {100 * result.read_node_miss_rate:.2f}%",
+        f"writes       : {c['writes']} (node misses {c['node_write_misses']}, "
+        f"upgrades {c['upgrades']})",
+        "miss classes : "
+        + ", ".join(
+            f"{k} {100 * v:.1f}%" for k, v in result.miss_class_fractions.items()
+        ),
+        "traffic      : "
+        + ", ".join(f"{k} {fmt_bytes(v)}" for k, v in result.traffic_bytes.items())
+        + f" (bus util {100 * result.bus_utilization:.1f}%)",
+        f"replacements : {c['replacements']} "
+        f"(to sharer {c['replace_to_sharer']}, to invalid {c['replace_to_invalid']}, "
+        f"to shared {c['replace_to_shared']}, forced hops {c['replace_forced_hops']}, "
+        f"overflow {c['overflow_parks']})",
+    ]
+    bd = time_breakdown_figure5(result)
+    total = sum(bd.values()) or 1
+    lines.append(
+        "time split   : "
+        + ", ".join(f"{k} {100 * v / total:.1f}%" for k, v in bd.items())
+    )
+    return "\n".join(lines)

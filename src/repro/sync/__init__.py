@@ -1,0 +1,5 @@
+"""Synchronization primitives simulated through the memory system."""
+
+from repro.sync.primitives import SimLock, SimBarrier, SyncSpace
+
+__all__ = ["SimLock", "SimBarrier", "SyncSpace"]

@@ -1,0 +1,77 @@
+"""Locks and barriers.
+
+"All ordinary data accesses as well as synchronization accesses have been
+modeled" (paper section 3).  Each primitive owns one cache line in a
+dedicated segment of the address space, and its operations turn into
+memory operations against that line:
+
+* **Lock** — test-and-test-and-set with local spinning: waiting processors
+  spin in their own caches (no events), so the only traffic is the
+  read-modify-write of an acquire and one refetch per waiter when a
+  release invalidates their cached copy.
+* **Barrier** — sense-reversing: arrival is an atomic counter update, the
+  last arriver writes the flipped sense, and every waiter re-reads the
+  sense line when released.
+
+The time-domain orchestration (who wakes when) is done by the simulation
+kernel in :mod:`repro.sim.simulator`; these classes hold identity and
+membership state only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.mem.address import AddressSpace
+
+
+class SimLock:
+    """One lock: an address plus holder/waiter bookkeeping."""
+
+    __slots__ = ("lock_id", "addr", "holder", "waiters")
+
+    def __init__(self, lock_id: int, addr: int) -> None:
+        self.lock_id = lock_id
+        self.addr = addr
+        self.holder: Optional[int] = None
+        self.waiters: deque[int] = deque()
+
+    @property
+    def free(self) -> bool:
+        return self.holder is None
+
+
+class SimBarrier:
+    """One sense-reversing barrier."""
+
+    __slots__ = ("barrier_id", "addr", "arrived", "generation")
+
+    def __init__(self, barrier_id: int, addr: int) -> None:
+        self.barrier_id = barrier_id
+        self.addr = addr
+        #: pid -> arrival completion time for the current episode.
+        self.arrived: dict[int, int] = {}
+        self.generation = 0
+
+
+class SyncSpace:
+    """Allocates one line per primitive and constructs them on demand."""
+
+    def __init__(self, space: AddressSpace, line_size: int, n_locks: int, n_barriers: int):
+        total = max(1, (n_locks + n_barriers)) * line_size
+        self.segment = space.alloc(total, "sync")
+        self.line_size = line_size
+        self.locks: list[SimLock] = [
+            SimLock(i, self.segment.base + i * line_size) for i in range(n_locks)
+        ]
+        base = self.segment.base + n_locks * line_size
+        self.barriers: list[SimBarrier] = [
+            SimBarrier(i, base + i * line_size) for i in range(n_barriers)
+        ]
+
+    def lock(self, lock_id: int) -> SimLock:
+        return self.locks[lock_id]
+
+    def barrier(self, barrier_id: int) -> SimBarrier:
+        return self.barriers[barrier_id]

@@ -1,0 +1,6 @@
+"""Timing: next-free-time contended resources and stall accounting."""
+
+from repro.timing.resource import Resource
+from repro.timing.accounting import StallAccounting, STALL_CATEGORIES
+
+__all__ = ["Resource", "StallAccounting", "STALL_CATEGORIES"]

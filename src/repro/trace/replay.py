@@ -1,0 +1,24 @@
+"""Trace-driven frontend: replay a captured trace through a machine."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.capture import OP_CHARS, CapturedTrace
+
+
+def _thread_program(trace: CapturedTrace, tid: int) -> Iterator[tuple]:
+    ops = trace.ops[tid]
+    args = trace.args[tid]
+    for k in range(len(ops)):
+        yield (OP_CHARS[int(ops[k])], int(args[k]))
+
+
+def replay_programs(trace: CapturedTrace) -> list[Iterator[tuple]]:
+    """Per-thread generators suitable for :class:`repro.sim.Simulation`.
+
+    The caller must build the machine over an address space with the same
+    allocation layout the trace was captured against (same workload name,
+    scale and seed — see ``trace.meta``).
+    """
+    return [_thread_program(trace, t) for t in range(trace.n_threads)]

@@ -1,0 +1,31 @@
+"""Trace persistence: compressed ``.npz`` with a JSON metadata entry."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.capture import CapturedTrace
+
+
+def save_trace(trace: CapturedTrace, path: str | Path) -> None:
+    arrays: dict[str, np.ndarray] = {}
+    for t in range(trace.n_threads):
+        arrays[f"ops_{t}"] = trace.ops[t]
+        arrays[f"args_{t}"] = trace.args[t]
+    arrays["meta"] = np.frombuffer(
+        json.dumps({"n_threads": trace.n_threads, **trace.meta}).encode(),
+        dtype=np.uint8,
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: str | Path) -> CapturedTrace:
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        n = int(meta.pop("n_threads"))
+        ops = [data[f"ops_{t}"] for t in range(n)]
+        args = [data[f"args_{t}"] for t in range(n)]
+    return CapturedTrace(n_threads=n, ops=ops, args=args, meta=meta)

@@ -1,0 +1,142 @@
+"""Synthetic reference-stream workloads.
+
+Parametric generators exercising one sharing pattern each — useful for
+unit tests (known expected behaviour) and microbenchmarks (isolating one
+machine mechanism).  They register under ``synth_*`` names but are not
+part of :func:`repro.workloads.registry.paper_workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+
+class _SynthBase(Workload):
+    n_locks = 0
+    n_barriers = 1
+    #: accesses per thread
+    ops = 4000
+    array_kb = 128
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.n_elems = int(self.array_kb * 1024 * scale) // 8
+
+    def allocate(self, space: AddressSpace) -> None:
+        self.arr = SharedArray(space, f"{self.name}.data", self.n_elems, itemsize=8)
+
+    def _first_touch(self, tid: int):
+        for i in self.chunk(self.n_elems, tid)[::8]:
+            yield ("w", self.arr.addr(i))
+        yield ("b", 0)
+
+
+@register
+class SyntheticUniform(_SynthBase):
+    """Uniformly random reads over the whole array: worst-case locality."""
+
+    name = "synth_uniform"
+    description = "uniform random shared reads"
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        rng = self.rng("stream", tid)
+        idx = rng.integers(0, self.n_elems, size=int(self.ops * self.scale))
+        for i in idx:
+            yield ("r", self.arr.addr(int(i)))
+            yield ("c", 8)
+        yield ("b", 0)
+
+
+@register
+class SyntheticHotspot(_SynthBase):
+    """Zipf-distributed reads: a hot read-shared subset replicated by
+    every node (replication pressure in miniature)."""
+
+    name = "synth_hotspot"
+    description = "zipf hotspot shared reads"
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        rng = self.rng("stream", tid)
+        raw = rng.zipf(1.3, size=int(self.ops * self.scale))
+        for z in raw:
+            i = int(z - 1) % self.n_elems
+            yield ("r", self.arr.addr(i))
+            yield ("c", 8)
+        yield ("b", 0)
+
+
+@register
+class SyntheticPrivate(_SynthBase):
+    """Pure private streaming: each thread sweeps its own partition.
+    After the cold pass everything is node-local — the COMA best case."""
+
+    name = "synth_private"
+    description = "private sequential streaming"
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        mine = self.chunk(self.n_elems, tid)
+        passes = max(1, int(self.ops * self.scale) // max(1, len(mine)))
+        for _ in range(passes):
+            for i in mine:
+                yield ("r", self.arr.addr(i))
+                yield ("w", self.arr.addr(i))
+            yield ("c", 4 * len(mine))
+        yield ("b", 0)
+
+
+@register
+class SyntheticMigratory(_SynthBase):
+    """Migratory data: thread t reads-modifies-writes the region last
+    written by thread t-1 each round — data migrates node to node."""
+
+    name = "synth_migratory"
+    description = "migratory read-modify-write regions"
+    rounds = 4
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        region = max(8, self.n_elems // (4 * self.n_threads))
+        for rnd in range(self.rounds):
+            src = (tid - rnd) % self.n_threads
+            base = self.chunk(self.n_elems, src).start
+            for i in range(base, min(base + region, self.n_elems)):
+                yield ("r", self.arr.addr(i))
+                yield ("w", self.arr.addr(i))
+            yield ("c", 6 * region)
+            yield ("b", 0)
+
+
+@register
+class SyntheticProducerConsumer(_SynthBase):
+    """Producer/consumer pairs: even threads write a buffer their odd
+    neighbour then reads.  Sequential thread placement co-locates pairs in
+    a cluster — the sharing pattern the paper's clustering exploits."""
+
+    name = "synth_producer_consumer"
+    description = "neighbour producer/consumer handoff"
+    rounds = 4
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        pair = tid ^ 1  # 0<->1, 2<->3, ...
+        region = max(8, self.n_elems // (4 * self.n_threads))
+        base = self.chunk(self.n_elems, min(tid, pair)).start
+        for rnd in range(self.rounds):
+            if (tid % 2 == 0) == (rnd % 2 == 0):
+                for i in range(base, min(base + region, self.n_elems)):
+                    yield ("w", self.arr.addr(i))
+                yield ("c", 3 * region)
+            else:
+                for i in range(base, min(base + region, self.n_elems)):
+                    yield ("r", self.arr.addr(i))
+                yield ("c", 3 * region)
+            yield ("b", 0)

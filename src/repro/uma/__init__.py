@@ -1,0 +1,5 @@
+"""UMA baseline machine (bus-based symmetric multiprocessor)."""
+
+from repro.uma.machine import UmaMachine
+
+__all__ = ["UmaMachine"]

@@ -1,0 +1,121 @@
+"""FFT: the SPLASH-2 radix-sqrt(n) six-step 1-D FFT.
+
+The n = m*m complex data points are viewed as an m x m matrix distributed
+by contiguous rows over the threads.  The six steps are: transpose, row
+FFTs, twiddle multiplication, transpose, row FFTs, transpose.  The
+transposes are the communication phases — every thread reads a block of
+columns from every other thread's partition (all-to-all), which is what
+makes FFT one of the paper's most memory-pressure-sensitive applications.
+
+Transposes are blocked so that the 4 complex elements sharing a 64-byte
+line are consumed together (as the SPLASH-2 code does).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+_BLOCK = 4  # complex elements per 64-byte line
+
+
+@register
+class FftWorkload(Workload):
+    name = "fft"
+    description = "1-dim. six-step FFT"
+    paper_working_set_mb = 50.0  # 1M data points in the paper
+    n_locks = 0
+    n_barriers = 1
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        # m is kept a multiple of both the block size and (ideally) the
+        # thread count so partitions are clean.
+        m = int(64 * math.sqrt(self.scale))
+        self.m = max(16, (m // _BLOCK) * _BLOCK)
+        self.n = self.m * self.m
+
+    def allocate(self, space: AddressSpace) -> None:
+        n = self.n
+        self.a = SharedArray(space, "fft.a", n, itemsize=16, dtype=np.complex128)
+        self.b = SharedArray(space, "fft.b", n, itemsize=16, dtype=np.complex128)
+        self.tw = SharedArray(space, "fft.twiddle", n, itemsize=16, dtype=np.complex128)
+        rng = self.rng("twiddle")
+        # Real twiddle factors: exp(-2*pi*i*r*c/n).
+        r = np.arange(n) // self.m
+        c = np.arange(n) % self.m
+        self.tw.data[:] = np.exp(-2j * np.pi * (r * c) / n)
+        self.init_vals = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+    # ------------------------------------------------------------------
+    def _rows(self, tid: int) -> range:
+        return self.chunk(self.m, tid)
+
+    def _transpose(self, src: SharedArray, dst: SharedArray, tid: int):
+        """Blocked transpose: dst[r, c] = src[c, r] for owned rows r."""
+        m = self.m
+        rows = self._rows(tid)
+        for r0 in rows[::_BLOCK]:
+            r_hi = min(r0 + _BLOCK, rows.stop)
+            for c0 in range(0, m, _BLOCK):
+                for c in range(c0, min(c0 + _BLOCK, m)):
+                    base_src = c * m
+                    for r in range(r0, r_hi):
+                        yield ("r", src.addr(base_src + r))
+                        dst.data[r * m + c] = src.data[base_src + r]
+                        yield ("w", dst.addr(r * m + c))
+                yield ("c", 8 * _BLOCK * _BLOCK)
+
+    def _row_ffts(self, arr: SharedArray, tid: int):
+        """In-place m-point FFT of each owned row."""
+        m = self.m
+        flops = int(5 * m * max(1, math.log2(m)))
+        for r in self._rows(tid):
+            lo = r * m
+            for c in range(m):
+                yield ("r", arr.addr(lo + c))
+            arr.data[lo : lo + m] = np.fft.fft(arr.data[lo : lo + m])
+            yield ("c", flops)
+            for c in range(m):
+                yield ("w", arr.addr(lo + c))
+
+    def _twiddle(self, arr: SharedArray, tid: int):
+        m = self.m
+        for r in self._rows(tid):
+            lo = r * m
+            for c in range(m):
+                yield ("r", self.tw.addr(lo + c))
+                yield ("r", arr.addr(lo + c))
+                arr.data[lo + c] *= self.tw.data[lo + c]
+                yield ("w", arr.addr(lo + c))
+            yield ("c", 6 * m)
+
+    # ------------------------------------------------------------------
+    def thread(self, tid: int) -> Iterator[tuple]:
+        m = self.m
+        # Initialize owned rows (first touch places pages at the owner).
+        for r in self._rows(tid):
+            lo = r * m
+            for c in range(m):
+                self.a.data[lo + c] = self.init_vals[lo + c]
+                yield ("w", self.a.addr(lo + c))
+            yield ("c", 2 * m)
+        yield ("b", 0)
+        yield from self._transpose(self.a, self.b, tid)
+        yield ("b", 0)
+        yield from self._row_ffts(self.b, tid)
+        yield ("b", 0)
+        yield from self._twiddle(self.b, tid)
+        yield ("b", 0)
+        yield from self._transpose(self.b, self.a, tid)
+        yield ("b", 0)
+        yield from self._row_ffts(self.a, tid)
+        yield ("b", 0)
+        yield from self._transpose(self.a, self.b, tid)
+        yield ("b", 0)

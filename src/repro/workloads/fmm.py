@@ -1,0 +1,205 @@
+"""FMM: an adaptive fast-multipole N-body solver (2-D, two clusters).
+
+The paper's FMM input is a "two cluster" particle distribution.  We run
+the classic uniform-grid FMM pipeline on a two-cluster input:
+
+1. P2M — leaf boxes build multipole expansions from their bodies;
+2. M2M — upward pass merges child expansions into parents;
+3. M2L — every box *reads the multipole expansions of its interaction
+   list* (up to 27 well-separated boxes at its level) — the read-shared
+   irregular phase that dominates communication;
+4. L2L — downward pass;
+5. L2P + P2P — leaf boxes evaluate local expansions and compute direct
+   interactions with the 8 neighbouring leaves.
+
+The expansions are the shared, replication-hungry structure that puts FMM
+in the paper's Figure-4 group.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+_ORDER = 8          # multipole terms per box
+_BODY_FIELDS = 24   # pos, vel, force, multipole-source terms
+
+
+@register
+class FmmWorkload(Workload):
+    name = "fmm"
+    description = "N-body two cluster"
+    paper_working_set_mb = 29.0
+    n_locks = 8
+    n_barriers = 1
+
+    levels = 4  # leaf grid is 2^(levels-1) per side
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.n_bodies = int(640 * scale)
+        self.leaf_dim = 1 << (self.levels - 1)
+
+    # -- box indexing: boxes of all levels in one array -------------------
+
+    def _level_offset(self, level: int) -> int:
+        # Level l has (2^l)^2 boxes; offset is the sum over lower levels.
+        return sum((1 << l) ** 2 for l in range(level))
+
+    def _box(self, level: int, x: int, y: int) -> int:
+        return self._level_offset(level) + x * (1 << level) + y
+
+    def allocate(self, space: AddressSpace) -> None:
+        self.n_boxes = self._level_offset(self.levels)
+        self.multipole = SharedArray(
+            space, "fmm.multipole", self.n_boxes * _ORDER, itemsize=8
+        )
+        self.local = SharedArray(space, "fmm.local", self.n_boxes * _ORDER, itemsize=8)
+        self.bodies = SharedArray(
+            space, "fmm.bodies", self.n_bodies * _BODY_FIELDS, itemsize=8
+        )
+        rng = self.rng("bodies")
+        half = self.n_bodies // 2
+        c1 = rng.normal(0.25, 0.07, size=(half, 2))
+        c2 = rng.normal(0.75, 0.07, size=(self.n_bodies - half, 2))
+        self.pos = np.clip(np.vstack([c1, c2]), 0.0, 0.999)
+        d = self.leaf_dim
+        self.body_leaf = [
+            (int(self.pos[i][0] * d), int(self.pos[i][1] * d))
+            for i in range(self.n_bodies)
+        ]
+        self.leaf_bodies: dict[tuple[int, int], list[int]] = {}
+        for i, cell in enumerate(self.body_leaf):
+            self.leaf_bodies.setdefault(cell, []).append(i)
+
+    # -- address helpers ---------------------------------------------------
+
+    def _mp(self, box: int, k: int) -> int:
+        return self.multipole.addr(box * _ORDER + k)
+
+    def _loc(self, box: int, k: int) -> int:
+        return self.local.addr(box * _ORDER + k)
+
+    def _body_addr(self, i: int, f: int = 0) -> int:
+        return self.bodies.addr(i * _BODY_FIELDS + f)
+
+    def _leaf_owner(self, x: int, y: int) -> int:
+        """Leaf boxes are distributed in contiguous column bands."""
+        return min(self.n_threads - 1, x * self.n_threads // self.leaf_dim)
+
+    def _interaction_list(self, level: int, x: int, y: int):
+        """Well-separated same-level boxes: children of the parent's
+        neighbours that are not neighbours of (x, y)."""
+        dim = 1 << level
+        px, py = x // 2, y // 2
+        for nx in range(max(0, (px - 1) * 2), min(dim, (px + 2) * 2)):
+            for ny in range(max(0, (py - 1) * 2), min(dim, (py + 2) * 2)):
+                if abs(nx - x) > 1 or abs(ny - y) > 1:
+                    yield self._box(level, nx, ny)
+
+    # ------------------------------------------------------------------
+    def thread(self, tid: int) -> Iterator[tuple]:
+        d = self.leaf_dim
+        leaf_level = self.levels - 1
+        # First touch: bodies by owner of their leaf box.
+        for i in range(self.n_bodies):
+            x, y = self.body_leaf[i]
+            if self._leaf_owner(x, y) == tid:
+                for f in range(_BODY_FIELDS):
+                    yield ("w", self._body_addr(i, f))
+                yield ("c", 10)
+        yield ("b", 0)
+
+        # P2M: leaves owned by this thread.
+        for x in range(d):
+            if self._leaf_owner(x, 0) != tid:
+                continue
+            for y in range(d):
+                box = self._box(leaf_level, x, y)
+                for i in self.leaf_bodies.get((x, y), []):
+                    yield ("r", self._body_addr(i, 0))
+                    yield ("c", 8 * _ORDER)
+                for k in range(_ORDER):
+                    yield ("w", self._mp(box, k))
+        yield ("b", 0)
+
+        # M2M upward: parent owners merge children.
+        for level in range(leaf_level - 1, -1, -1):
+            dim = 1 << level
+            for x in range(dim):
+                # Ownership follows the leaf bands through the hierarchy.
+                if self._leaf_owner(x * (d // dim), 0) != tid:
+                    continue
+                for y in range(dim):
+                    box = self._box(level, x, y)
+                    for cx in (2 * x, 2 * x + 1):
+                        for cy in (2 * y, 2 * y + 1):
+                            child = self._box(level + 1, cx, cy)
+                            for k in range(0, _ORDER, 2):
+                                yield ("r", self._mp(child, k))
+                    yield ("c", 16 * _ORDER)
+                    for k in range(_ORDER):
+                        yield ("w", self._mp(box, k))
+            yield ("b", 0)
+
+        # M2L: the communication-heavy phase — read interaction lists.
+        for level in range(1, self.levels):
+            dim = 1 << level
+            for x in range(dim):
+                if self._leaf_owner(x * (d // dim), 0) != tid:
+                    continue
+                for y in range(dim):
+                    box = self._box(level, x, y)
+                    for src in self._interaction_list(level, x, y):
+                        for k in range(0, _ORDER, 2):
+                            yield ("r", self._mp(src, k))
+                        yield ("c", 12 * _ORDER)
+                    for k in range(_ORDER):
+                        yield ("w", self._loc(box, k))
+        yield ("b", 0)
+
+        # L2L downward.
+        for level in range(1, self.levels):
+            dim = 1 << level
+            for x in range(dim):
+                if self._leaf_owner(x * (d // dim), 0) != tid:
+                    continue
+                for y in range(dim):
+                    box = self._box(level, x, y)
+                    parent = self._box(level - 1, x // 2, y // 2)
+                    for k in range(0, _ORDER, 2):
+                        yield ("r", self._loc(parent, k))
+                    yield ("c", 8 * _ORDER)
+                    for k in range(0, _ORDER, 2):
+                        yield ("w", self._loc(box, k))
+            yield ("b", 0)
+
+        # L2P + P2P on owned leaves.
+        for x in range(d):
+            if self._leaf_owner(x, 0) != tid:
+                continue
+            for y in range(d):
+                box = self._box(leaf_level, x, y)
+                residents = self.leaf_bodies.get((x, y), [])
+                for k in range(0, _ORDER, 2):
+                    yield ("r", self._loc(box, k))
+                for i in residents:
+                    yield ("r", self._body_addr(i, 0))
+                    yield ("c", 6 * _ORDER)
+                    # Direct interactions with neighbour leaves (capped,
+                    # like the SPLASH-2 well-separateness bound).
+                    for nx in range(max(0, x - 1), min(d, x + 2)):
+                        for ny in range(max(0, y - 1), min(d, y + 2)):
+                            for j in self.leaf_bodies.get((nx, ny), [])[:6]:
+                                if j == i:
+                                    continue
+                                yield ("r", self._body_addr(j, 0))
+                                yield ("c", 12)
+                    yield ("w", self._body_addr(i, 4))
+        yield ("b", 0)

@@ -1,0 +1,194 @@
+"""LU: blocked dense LU factorization, in both SPLASH-2 variants.
+
+The n x n matrix is divided into b x b blocks owned by threads in a 2-D
+round-robin scatter.  Step k factors the diagonal block, updates the
+perimeter (row/column panels), then updates the trailing submatrix; the
+pivot panels of step k are *read by every thread* that owns a trailing
+block — a broadcast pattern that makes LU replication-hungry, which is why
+the paper's LU-contig lands in the conflict-sensitive Figure-4 group.
+
+* ``lu_contig``    — "enhanced locality": blocks are allocated
+  contiguously (block-major), so a block's 64 doubles span 8 lines shared
+  with nobody else.
+* ``lu_noncontig`` — the original row-major allocation: a block's rows are
+  strided by the full matrix row, so blocks share lines with horizontal
+  neighbours (false sharing) and panel reads touch many more lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+
+class _LuBase(Workload):
+    n_locks = 0
+    n_barriers = 1
+    #: block-major (True) vs row-major (False) element layout
+    contiguous_blocks = True
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.b = 8
+        n = int(96 * np.sqrt(scale))
+        self.n = max(self.b * 4, (n // self.b) * self.b)
+        self.g = self.n // self.b  # blocks per dimension
+
+    def allocate(self, space: AddressSpace) -> None:
+        n = self.n
+        self.a = SharedArray(space, f"{self.name}.a", n * n, itemsize=8)
+        rng = self.rng("matrix")
+        m = rng.standard_normal((n, n))
+        # Diagonally dominant so the factorization is stable without pivoting.
+        m += n * np.eye(n)
+        flat = self.a.data.reshape(n, n)
+        flat[:, :] = m
+
+    # -- layout ---------------------------------------------------------
+
+    def idx(self, i: int, j: int) -> int:
+        """Element index of matrix entry (i, j) under the variant's layout."""
+        if self.contiguous_blocks:
+            b = self.b
+            bi, ii = divmod(i, b)
+            bj, jj = divmod(j, b)
+            return ((bi * self.g + bj) * b + ii) * b + jj
+        return i * self.n + j
+
+    def owner(self, bi: int, bj: int) -> int:
+        """2-D round-robin scatter ownership of block (bi, bj)."""
+        return (bi * self.g + bj) % self.n_threads
+
+    # -- matrix value helpers (operate on logical (i, j) coordinates) ----
+
+    def _get(self, i: int, j: int) -> float:
+        return self.a.data[self.idx(i, j)]
+
+    def _set(self, i: int, j: int, v: float) -> None:
+        self.a.data[self.idx(i, j)] = v
+
+    # -- kernel pieces ----------------------------------------------------
+
+    def _block_addrs(self, bi: int, bj: int):
+        b = self.b
+        for ii in range(bi * b, bi * b + b):
+            for jj in range(bj * b, bj * b + b):
+                yield self.a.addr(self.idx(ii, jj))
+
+    def _factor_diag(self, k: int):
+        """Unblocked LU of the diagonal block (owner thread only)."""
+        b, lo = self.b, k * self.b
+        for a in self._block_addrs(k, k):
+            yield ("r", a)
+        for p in range(lo, lo + b):
+            piv = self._get(p, p)
+            for i in range(p + 1, lo + b):
+                l = self._get(i, p) / piv
+                self._set(i, p, l)
+                for j in range(p + 1, lo + b):
+                    self._set(i, j, self._get(i, j) - l * self._get(p, j))
+        yield ("c", 2 * b * b * b // 3)
+        for a in self._block_addrs(k, k):
+            yield ("w", a)
+
+    def _update_panel(self, k: int, bi: int, bj: int, lower: bool):
+        """Solve a perimeter block against the factored diagonal block."""
+        b = self.b
+        lo = k * b
+        for a in self._block_addrs(k, k):  # broadcast read of the pivot block
+            yield ("r", a)
+        for a in self._block_addrs(bi, bj):
+            yield ("r", a)
+        base_i, base_j = bi * b, bj * b
+        # Triangular solve, vectorized on the value side.
+        blk = np.array(
+            [[self._get(base_i + ii, base_j + jj) for jj in range(b)] for ii in range(b)]
+        )
+        diag = np.array(
+            [[self._get(lo + ii, lo + jj) for jj in range(b)] for ii in range(b)]
+        )
+        if lower:  # column panel: solve X * U = B
+            u = np.triu(diag)
+            blk = np.linalg.solve(u.T, blk.T).T
+        else:  # row panel: solve L * X = B
+            l = np.tril(diag, -1) + np.eye(b)
+            blk = np.linalg.solve(l, blk)
+        for ii in range(b):
+            for jj in range(b):
+                self._set(base_i + ii, base_j + jj, blk[ii, jj])
+        yield ("c", b * b * b)
+        for a in self._block_addrs(bi, bj):
+            yield ("w", a)
+
+    def _update_interior(self, k: int, bi: int, bj: int):
+        """Trailing block update: C -= L(bi,k) @ U(k,bj)."""
+        b = self.b
+        for a in self._block_addrs(bi, k):  # broadcast-read pivot column
+            yield ("r", a)
+        for a in self._block_addrs(k, bj):  # broadcast-read pivot row
+            yield ("r", a)
+        for a in self._block_addrs(bi, bj):
+            yield ("r", a)
+        base_i, base_j = bi * b, bj * b
+        l = np.array(
+            [[self._get(base_i + ii, k * b + jj) for jj in range(b)] for ii in range(b)]
+        )
+        u = np.array(
+            [[self._get(k * b + ii, base_j + jj) for jj in range(b)] for ii in range(b)]
+        )
+        prod = l @ u
+        for ii in range(b):
+            for jj in range(b):
+                self._set(base_i + ii, base_j + jj, self._get(base_i + ii, base_j + jj) - prod[ii, jj])
+        yield ("c", 2 * b * b * b)
+        for a in self._block_addrs(bi, bj):
+            yield ("w", a)
+
+    # ------------------------------------------------------------------
+    def thread(self, tid: int) -> Iterator[tuple]:
+        g = self.g
+        # First-touch initialization: owners write their blocks.
+        for bi in range(g):
+            for bj in range(g):
+                if self.owner(bi, bj) == tid:
+                    for a in self._block_addrs(bi, bj):
+                        yield ("w", a)
+                    yield ("c", self.b * self.b)
+        yield ("b", 0)
+        for k in range(g):
+            if self.owner(k, k) == tid:
+                yield from self._factor_diag(k)
+            yield ("b", 0)
+            for bi in range(k + 1, g):
+                if self.owner(bi, k) == tid:
+                    yield from self._update_panel(k, bi, k, lower=True)
+            for bj in range(k + 1, g):
+                if self.owner(k, bj) == tid:
+                    yield from self._update_panel(k, k, bj, lower=False)
+            yield ("b", 0)
+            for bi in range(k + 1, g):
+                for bj in range(k + 1, g):
+                    if self.owner(bi, bj) == tid:
+                        yield from self._update_interior(k, bi, bj)
+            yield ("b", 0)
+
+
+@register
+class LuContigWorkload(_LuBase):
+    name = "lu_contig"
+    description = "Blocked LU-fact., enhanced locality"
+    paper_working_set_mb = 2.0  # 512x512 in the paper
+    contiguous_blocks = True
+
+
+@register
+class LuNoncontigWorkload(_LuBase):
+    name = "lu_noncontig"
+    description = "Blocked LU-factorization"
+    paper_working_set_mb = 2.0
+    contiguous_blocks = False

@@ -1,0 +1,224 @@
+"""Ocean: red-black SOR relaxation from the SPLASH-2 ocean simulation.
+
+The g x g grid is partitioned into square subgrids, one per thread (4 x 4
+subgrids for 16 threads).  Each iteration performs a red sweep and a black
+sweep of the 5-point stencil over two coupled grids (stream function and
+vorticity), with barriers between sweeps; communication is
+nearest-neighbour along subgrid borders.
+
+* ``ocean_contig``    — "enhanced locality": each thread's subgrid is
+  allocated contiguously, so only true border elements share lines with
+  neighbours.
+* ``ocean_noncontig`` — the original row-major 2-D arrays: a subgrid's
+  rows are strided by the full grid width, so vertical borders are spread
+  over many lines and horizontally adjacent subgrids false-share every
+  boundary line.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+
+class _OceanBase(Workload):
+    n_locks = 0
+    n_barriers = 1
+    contiguous_subgrids = True
+    iterations = 2
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.pgrid = max(1, int(math.sqrt(n_threads)))
+        g = int(96 * math.sqrt(scale))
+        # Grid divisible by the processor grid.
+        self.g = max(self.pgrid * 8, (g // self.pgrid) * self.pgrid)
+        self.sub = self.g // self.pgrid  # subgrid edge
+
+    #: Coarse-grid correction levels of the multigrid solver (the real
+    #: ocean code solves its elliptic equations with multigrid W-cycles;
+    #: we run one V-cycle per iteration).
+    multigrid_levels = 2
+
+    def allocate(self, space: AddressSpace) -> None:
+        n = self.g * self.g
+        self.psi = SharedArray(space, f"{self.name}.psi", n, itemsize=8)
+        self.vort = SharedArray(space, f"{self.name}.vort", n, itemsize=8)
+        # Coarse grids for the multigrid cycle (level k has edge g / 2^k).
+        self.coarse: list[SharedArray] = []
+        edge = self.g
+        for lvl in range(1, self.multigrid_levels + 1):
+            edge //= 2
+            self.coarse.append(
+                SharedArray(space, f"{self.name}.mg{lvl}", edge * edge, itemsize=8)
+            )
+        rng = self.rng("init")
+        self.psi.data[:] = rng.standard_normal(n)
+        self.vort.data[:] = rng.standard_normal(n)
+
+    # -- layout ---------------------------------------------------------
+
+    def idx(self, i: int, j: int) -> int:
+        if not self.contiguous_subgrids:
+            return i * self.g + j
+        s = self.sub
+        si, ii = divmod(i, s)
+        sj, jj = divmod(j, s)
+        return ((si * self.pgrid + sj) * s + ii) * s + jj
+
+    def _region(self, tid: int) -> tuple[int, int, int, int]:
+        """(i0, i1, j0, j1) of thread ``tid``'s subgrid."""
+        si, sj = divmod(tid % (self.pgrid * self.pgrid), self.pgrid)
+        s = self.sub
+        return si * s, (si + 1) * s, sj * s, (sj + 1) * s
+
+    # -- kernel ----------------------------------------------------------
+
+    def _sweep(self, tid: int, arr: SharedArray, other: SharedArray, color: int):
+        """One red/black SOR sweep over the thread's subgrid interior."""
+        g = self.g
+        i0, i1, j0, j1 = self._region(tid)
+        omega = 1.2
+        data = arr.data
+        for i in range(max(1, i0), min(g - 1, i1)):
+            jstart = max(1, j0)
+            if (i + jstart) % 2 != color:
+                jstart += 1
+            for j in range(jstart, min(g - 1, j1), 2):
+                c = self.idx(i, j)
+                up, dn = self.idx(i - 1, j), self.idx(i + 1, j)
+                lf, rt = self.idx(i, j - 1), self.idx(i, j + 1)
+                yield ("r", arr.addr(up))
+                yield ("r", arr.addr(dn))
+                yield ("r", arr.addr(lf))
+                yield ("r", arr.addr(rt))
+                yield ("r", other.addr(c))
+                yield ("r", arr.addr(c))
+                new = (1 - omega) * data[c] + omega * 0.25 * (
+                    data[up] + data[dn] + data[lf] + data[rt] + 0.01 * other.data[c]
+                )
+                data[c] = new
+                yield ("w", arr.addr(c))
+            yield ("c", 12 * (min(g - 1, j1) - jstart) // 2)
+
+    # -- multigrid pieces --------------------------------------------------
+
+    def _coarse_region(self, tid: int, factor: int) -> tuple[int, int, int, int]:
+        i0, i1, j0, j1 = self._region(tid)
+        return i0 // factor, i1 // factor, j0 // factor, j1 // factor
+
+    def _restrict(self, tid: int, fine, coarse, factor: int):
+        """Full-weighting restriction of the thread's subgrid: each coarse
+        point averages a 2x2 fine patch (of the finer level's values)."""
+        edge = self.g // factor
+        i0, i1, j0, j1 = self._coarse_region(tid, factor)
+        for ci in range(i0, i1):
+            for cj in range(j0, j1):
+                fi, fj = 2 * ci, 2 * cj
+                acc = 0.0
+                for di in (0, 1):
+                    for dj in (0, 1):
+                        src = self._fine_index(fine, fi + di, fj + dj, factor // 2)
+                        yield ("r", fine.addr(src))
+                        acc += fine.data[src]
+                coarse.data[ci * edge + cj] = 0.25 * acc
+                yield ("w", coarse.addr(ci * edge + cj))
+            yield ("c", 6 * max(1, j1 - j0))
+
+    def _fine_index(self, arr, i: int, j: int, factor: int) -> int:
+        """Index into a grid: the finest level uses the layout mapping,
+        coarse levels are plain row-major."""
+        if factor <= 1:
+            return self.idx(i, j)
+        edge = self.g // factor
+        return min(i, edge - 1) * edge + min(j, edge - 1)
+
+    def _coarse_sweep(self, tid: int, coarse, factor: int, color: int):
+        """Red/black relaxation on a coarse grid."""
+        edge = self.g // factor
+        i0, i1, j0, j1 = self._coarse_region(tid, factor)
+        data = coarse.data
+        for i in range(max(1, i0), min(edge - 1, i1)):
+            jstart = max(1, j0)
+            if (i + jstart) % 2 != color:
+                jstart += 1
+            for j in range(jstart, min(edge - 1, j1), 2):
+                c = i * edge + j
+                for nb in (c - edge, c + edge, c - 1, c + 1):
+                    yield ("r", coarse.addr(nb))
+                data[c] = 0.25 * (
+                    data[c - edge] + data[c + edge] + data[c - 1] + data[c + 1]
+                )
+                yield ("w", coarse.addr(c))
+            yield ("c", 8 * max(1, (min(edge - 1, j1) - jstart) // 2))
+
+    def _prolong(self, tid: int, coarse, fine, factor: int):
+        """Inject the coarse correction back into the finer level."""
+        edge = self.g // factor
+        i0, i1, j0, j1 = self._coarse_region(tid, factor)
+        for ci in range(i0, i1):
+            for cj in range(j0, j1):
+                src = ci * edge + cj
+                yield ("r", coarse.addr(src))
+                dst = self._fine_index(fine, 2 * ci, 2 * cj, factor // 2)
+                fine.data[dst] += 0.05 * coarse.data[src]
+                yield ("w", fine.addr(dst))
+            yield ("c", 3 * max(1, j1 - j0))
+
+    def _vcycle(self, tid: int):
+        """One multigrid V-cycle on the stream function."""
+        grids = [self.psi] + self.coarse
+        # Down: restrict level by level.
+        for lvl in range(len(self.coarse)):
+            factor = 2 ** (lvl + 1)
+            yield from self._restrict(tid, grids[lvl], grids[lvl + 1], factor)
+            yield ("b", 0)
+        # Relax on the coarsest grid.
+        factor = 2 ** len(self.coarse)
+        for color in (0, 1):
+            yield from self._coarse_sweep(tid, grids[-1], factor, color)
+            yield ("b", 0)
+        # Up: prolong corrections back down the hierarchy.
+        for lvl in range(len(self.coarse) - 1, -1, -1):
+            factor = 2 ** (lvl + 1)
+            yield from self._prolong(tid, grids[lvl + 1], grids[lvl], factor)
+            yield ("b", 0)
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        # First touch: each thread initializes its own subgrid.
+        i0, i1, j0, j1 = self._region(tid)
+        for i in range(i0, i1):
+            for j in range(j0, j1):
+                yield ("w", self.psi.addr(self.idx(i, j)))
+                yield ("w", self.vort.addr(self.idx(i, j)))
+            yield ("c", 4 * (j1 - j0))
+        yield ("b", 0)
+        for _ in range(self.iterations):
+            for color in (0, 1):
+                yield from self._sweep(tid, self.psi, self.vort, color)
+                yield ("b", 0)
+                yield from self._sweep(tid, self.vort, self.psi, color)
+                yield ("b", 0)
+            yield from self._vcycle(tid)
+
+
+@register
+class OceanContigWorkload(_OceanBase):
+    name = "ocean_contig"
+    description = "Ocean movement simul., enhanced locality"
+    paper_working_set_mb = 14.5  # 258x258 in the paper
+    contiguous_subgrids = True
+
+
+@register
+class OceanNoncontigWorkload(_OceanBase):
+    name = "ocean_noncontig"
+    description = "Ocean movement simulation"
+    paper_working_set_mb = 14.5
+    contiguous_subgrids = False

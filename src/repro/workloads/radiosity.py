@@ -1,0 +1,152 @@
+"""Radiosity: iterative hierarchical radiosity light distribution.
+
+Patches of a scene exchange light along a (precomputed, visibility-pruned)
+interaction graph.  Each sweep, workers pull patch tasks from a shared
+queue and *gather*: they read the radiosity of every patch visible from
+their patch — a highly irregular read-shared pattern over the whole scene,
+which is why Radiosity sits in the paper's conflict-sensitive Figure-4
+group.  Bright patches subdivide after the first sweep, growing the task
+set (the adaptive refinement of the real application, in miniature).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+#: Doubles per patch: geometry(8) + radiosity + unshot + area + pad = 16.
+_PATCH_FIELDS = 16
+
+
+@register
+class RadiosityWorkload(Workload):
+    name = "radiosity"
+    description = "Light distribution"
+    paper_working_set_mb = 29.0  # -room -batch in the paper
+    n_locks = 9  # lock 0 = task queue, 1.. hashed patch locks
+    n_barriers = 1
+
+    sweeps = 3
+    avg_degree = 40
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.n_patches = int(320 * scale)
+        self.max_patches = self.n_patches + self.n_patches // 2
+
+    def allocate(self, space: AddressSpace) -> None:
+        self.patches = SharedArray(
+            space, "radiosity.patches", self.max_patches * _PATCH_FIELDS, itemsize=8
+        )
+        self.queue = SharedArray(space, "radiosity.queue", 8, itemsize=8, dtype=np.int64)
+        # Form-factor interaction lists in simulated memory.
+        rng = self.rng("visibility")
+        self.vis: list[list[int]] = []
+        for p in range(self.max_patches):
+            deg = max(4, int(rng.poisson(self.avg_degree)))
+            others = rng.choice(self.n_patches, size=min(deg, self.n_patches - 1), replace=False)
+            self.vis.append([int(o) for o in others if o != p])
+        total_edges = sum(len(v) for v in self.vis)
+        self.ff = SharedArray(space, "radiosity.ff", total_edges, itemsize=8)
+        self.vis_offset: list[int] = []
+        off = 0
+        for v in self.vis:
+            self.vis_offset.append(off)
+            off += len(v)
+        self.patches.data[0 :: _PATCH_FIELDS] = rng.random(self.max_patches)
+        self.ff.data[:] = rng.random(total_edges) / self.avg_degree
+        #: number of live patches (grows by subdivision); Python-side copy
+        #: of the shared counter semantics, deterministic across threads.
+        self.live = self.n_patches
+        self._subdivided = False
+
+    # -- helpers -----------------------------------------------------------
+
+    def _patch_addr(self, p: int, f: int = 0) -> int:
+        return self.patches.addr(p * _PATCH_FIELDS + f)
+
+    def _patch_lock(self, p: int) -> int:
+        return 1 + p % (self.n_locks - 1)
+
+    def _take_task(self, n_tasks: int):
+        yield ("l", 0)
+        yield ("r", self.queue.addr(0))
+        t = int(self.queue.data[0])
+        if t < n_tasks:
+            self.queue.data[0] = t + 1
+            yield ("w", self.queue.addr(0))
+        yield ("u", 0)
+        return t
+
+    def _gather(self, p: int):
+        """Gather radiosity into patch ``p`` from its visible set."""
+        yield ("r", self._patch_addr(p, 0))
+        off = self.vis_offset[p]
+        total = 0.0
+        for k, q in enumerate(self.vis[p]):
+            yield ("r", self.ff.addr(off + k))
+            yield ("r", self._patch_addr(q, 8))  # q's radiosity
+            total += self.ff.data[off + k] * self.patches.data[q * _PATCH_FIELDS + 8]
+            yield ("c", 6)
+        lid = self._patch_lock(p)
+        yield ("l", lid)
+        yield ("r", self._patch_addr(p, 8))
+        self.patches.data[p * _PATCH_FIELDS + 8] = (
+            0.5 * self.patches.data[p * _PATCH_FIELDS + 8] + 0.5 * total
+        )
+        yield ("w", self._patch_addr(p, 8))
+        yield ("u", lid)
+
+    def _subdivide(self):
+        """Split the brightest patches (adds work for later sweeps)."""
+        if self._subdivided:
+            return []
+        self._subdivided = True
+        rad = self.patches.data[8 :: _PATCH_FIELDS][: self.n_patches]
+        order = np.argsort(rad)[::-1]
+        new_ids = []
+        for p in order[: self.max_patches - self.n_patches]:
+            child = self.live
+            if child >= self.max_patches:
+                break
+            self.vis[child] = list(self.vis[int(p)])
+            self.vis_offset[child] = self.vis_offset[int(p)]
+            self.live += 1
+            new_ids.append(child)
+        return new_ids
+
+    # ------------------------------------------------------------------
+    def thread(self, tid: int) -> Iterator[tuple]:
+        # First touch: patch and form-factor slices.
+        for p in self.chunk(self.n_patches, tid):
+            for f in range(_PATCH_FIELDS):
+                yield ("w", self._patch_addr(p, f))
+            off = self.vis_offset[p]
+            for k in range(len(self.vis[p])):
+                yield ("w", self.ff.addr(off + k))
+            yield ("c", 30)
+        if tid == 0:
+            yield ("w", self.queue.addr(0))
+        yield ("b", 0)
+        for sweep in range(self.sweeps):
+            n_tasks = self.live
+            while True:
+                t = yield from self._take_task(n_tasks)
+                if t >= n_tasks:
+                    break
+                yield from self._gather(t)
+                yield ("c", 20)
+            yield ("b", 0)
+            if tid == 0:
+                # Reset the queue and subdivide bright patches once.
+                for child in self._subdivide():
+                    for f in range(_PATCH_FIELDS):
+                        yield ("w", self._patch_addr(child, f))
+                self.queue.data[0] = 0
+                yield ("w", self.queue.addr(0))
+            yield ("b", 0)

@@ -1,0 +1,123 @@
+"""Radix: the SPLASH-2 parallel integer radix sort.
+
+Each pass histograms one digit of the keys, computes global digit offsets
+(a tree reduction done here as a lock-protected merge plus a prefix pass
+by thread 0), and then *permutes* the keys into the destination array.
+The permutation writes are scattered across the whole destination — an
+all-to-all pattern with poor spatial locality that makes radix the
+paper's canonical high-write-traffic, contention-limited application
+(it is one of the two that keep degrading under clustering in Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+
+@register
+class RadixWorkload(Workload):
+    name = "radix"
+    description = "integer sorting"
+    paper_working_set_mb = 16.5  # 2M keys, radix 1024 in the paper
+    n_locks = 0
+    n_barriers = 1
+
+    radix_bits = 8
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.n = int(24576 * scale)
+        self.buckets = 1 << self.radix_bits
+        self.passes = 2  # 16-bit keys
+
+    def allocate(self, space: AddressSpace) -> None:
+        n = self.n
+        self.keys = SharedArray(space, "radix.keys", n, itemsize=8, dtype=np.int64)
+        self.out = SharedArray(space, "radix.out", n, itemsize=8, dtype=np.int64)
+        # Per-thread digit histograms plus the global prefix array.
+        self.hist = SharedArray(
+            space,
+            "radix.hist",
+            self.buckets * (self.n_threads + 1),
+            itemsize=8,
+            dtype=np.int64,
+        )
+        rng = self.rng("keys")
+        self.init_keys = rng.integers(
+            0, 1 << (self.radix_bits * self.passes), size=n, dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    def _hist_idx(self, tid: int, digit: int) -> int:
+        return tid * self.buckets + digit
+
+    def _global_idx(self, digit: int) -> int:
+        return self.n_threads * self.buckets + digit
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        n, buckets = self.n, self.buckets
+        mine = self.chunk(n, tid)
+        # First touch of the owned key slices.
+        for i in mine:
+            self.keys.data[i] = self.init_keys[i]
+            yield ("w", self.keys.addr(i))
+        yield ("c", 2 * len(mine))
+        yield ("b", 0)
+
+        src, dst = self.keys, self.out
+        for p in range(self.passes):
+            shift = p * self.radix_bits
+            # Local histogram over the owned slice of the source.
+            local = np.zeros(buckets, dtype=np.int64)
+            for i in mine:
+                yield ("r", src.addr(i))
+                local[(int(src.data[i]) >> shift) & (buckets - 1)] += 1
+            yield ("c", 4 * len(mine))
+            for d in range(buckets):
+                self.hist.data[self._hist_idx(tid, d)] = local[d]
+                yield ("w", self.hist.addr(self._hist_idx(tid, d)))
+            yield ("b", 0)
+
+            # Thread 0 computes global offsets: rank order is (digit,
+            # thread) so each thread's write region is contiguous per digit.
+            if tid == 0:
+                offset = 0
+                for d in range(buckets):
+                    for t in range(self.n_threads):
+                        yield ("r", self.hist.addr(self._hist_idx(t, d)))
+                        cnt = int(self.hist.data[self._hist_idx(t, d)])
+                        self.hist.data[self._hist_idx(t, d)] = offset
+                        yield ("w", self.hist.addr(self._hist_idx(t, d)))
+                        offset += cnt
+                yield ("c", 3 * buckets * self.n_threads)
+            yield ("b", 0)
+
+            # Permutation: scattered writes into the destination array.
+            cursor = {
+                d: int(self.hist.data[self._hist_idx(tid, d)]) for d in range(buckets)
+            }
+            for d in range(buckets):
+                yield ("r", self.hist.addr(self._hist_idx(tid, d)))
+            for i in mine:
+                yield ("r", src.addr(i))
+                key = int(src.data[i])
+                d = (key >> shift) & (buckets - 1)
+                pos = cursor[d]
+                cursor[d] = pos + 1
+                dst.data[pos] = key
+                yield ("w", dst.addr(pos))
+            yield ("c", 6 * len(mine))
+            yield ("b", 0)
+            src, dst = dst, src
+
+        # Verify sortedness of the owned slice (reads, cheap).
+        for i in mine[: len(mine) : 8]:
+            yield ("r", src.addr(i))
+        yield ("c", len(mine) // 4)
+        yield ("b", 0)

@@ -1,0 +1,172 @@
+"""Raytrace: grid-traversal ray tracer over a shared scene (car.env-like).
+
+The scene (spheres binned into a uniform 3-D grid) is *read-shared by all
+processors*: every ray walks grid cells (3-D DDA) and intersects the
+spheres listed there, with one bounce for reflective hits.  Image tiles
+are distributed through a shared task queue for load balance.  The shared
+scene structure makes Raytrace replication-hungry — one of the paper's
+Figure-4 applications whose traffic blows up from AM conflict misses at
+87.5 % memory pressure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+_SPHERE_FIELDS = 8  # center(3) radius reflect pad -> one line
+_CELL_CAP = 6
+
+
+@register
+class RaytraceWorkload(Workload):
+    name = "raytrace"
+    description = "hierarchical ray tracing"
+    paper_working_set_mb = 36.0  # car.env -a1 in the paper
+    n_locks = 1  # task queue
+    n_barriers = 1
+
+    grid_dim = 12
+    tile = 8
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        # Image edge rounded to whole tiles so the task queue covers it.
+        self.image_dim = max(self.tile, int(64 * math.sqrt(scale)) // self.tile * self.tile)
+        self.n_spheres = int(192 * scale)
+
+    def allocate(self, space: AddressSpace) -> None:
+        g = self.grid_dim
+        self.spheres = SharedArray(
+            space, "raytrace.spheres", self.n_spheres * _SPHERE_FIELDS, itemsize=8
+        )
+        # Per-cell occupant lists: count + sphere ids.
+        self.grid = SharedArray(
+            space, "raytrace.grid", g * g * g * (_CELL_CAP + 1), itemsize=8, dtype=np.int64
+        )
+        self.image = SharedArray(
+            space, "raytrace.image", self.image_dim * self.image_dim, itemsize=8
+        )
+        self.queue = SharedArray(space, "raytrace.queue", 8, itemsize=8, dtype=np.int64)
+        rng = self.rng("scene")
+        self.centers = rng.random((self.n_spheres, 3))
+        self.radii = 0.02 + 0.05 * rng.random(self.n_spheres)
+        self.reflective = rng.random(self.n_spheres) < 0.3
+        # Bin spheres into grid cells (by center; radius spill ignored for
+        # the structure, compensated by testing neighbours' occupants).
+        self.cell_lists: dict[int, list[int]] = {}
+        for s in range(self.n_spheres):
+            c = self._cell_of(self.centers[s])
+            self.cell_lists.setdefault(c, []).append(s)
+
+    # -- geometry ----------------------------------------------------------
+
+    def _cell_of(self, p) -> int:
+        g = self.grid_dim
+        x = min(g - 1, int(p[0] * g))
+        y = min(g - 1, int(p[1] * g))
+        z = min(g - 1, int(p[2] * g))
+        return (x * g + y) * g + z
+
+    def _cell_addr(self, cell: int, slot: int = 0) -> int:
+        return self.grid.addr(cell * (_CELL_CAP + 1) + slot)
+
+    def _sphere_addr(self, s: int, f: int = 0) -> int:
+        return self.spheres.addr(s * _SPHERE_FIELDS + f)
+
+    def _intersect(self, origin, direction, s: int) -> Optional[float]:
+        oc = origin - self.centers[s]
+        b = float(np.dot(oc, direction))
+        c = float(np.dot(oc, oc)) - self.radii[s] ** 2
+        disc = b * b - c
+        if disc < 0:
+            return None
+        t = -b - math.sqrt(disc)
+        return t if t > 1e-6 else None
+
+    def _trace(self, origin, direction, depth: int):
+        """DDA walk through the grid; emits scene reads, returns hit id."""
+        g = self.grid_dim
+        pos = origin.copy()
+        step = direction / (np.max(np.abs(direction)) * g) * 0.9
+        best: Optional[tuple[float, int]] = None
+        seen_cells = set()
+        for _ in range(3 * g):
+            if not ((0 <= pos) & (pos < 1)).all():
+                break
+            cell = self._cell_of(pos)
+            if cell not in seen_cells:
+                seen_cells.add(cell)
+                yield ("r", self._cell_addr(cell, 0))
+                for s in self.cell_lists.get(cell, [])[:_CELL_CAP]:
+                    yield ("r", self._cell_addr(cell, 1))
+                    yield ("r", self._sphere_addr(s, 0))
+                    yield ("r", self._sphere_addr(s, 3))
+                    yield ("c", 30)
+                    t = self._intersect(origin, direction, s)
+                    if t is not None and (best is None or t < best[0]):
+                        best = (t, s)
+            if best is not None:
+                break
+            pos = pos + step
+        if best is not None and depth > 0 and self.reflective[best[1]]:
+            # One reflection bounce.
+            hit = origin + best[0] * direction
+            normal = hit - self.centers[best[1]]
+            normal = normal / (np.linalg.norm(normal) + 1e-12)
+            refl = direction - 2 * float(np.dot(direction, normal)) * normal
+            yield ("c", 40)
+            yield from self._trace(hit + 1e-3 * normal, refl, depth - 1)
+        return best[1] if best is not None else -1
+
+    def _take_task(self, n_tasks: int):
+        yield ("l", 0)
+        yield ("r", self.queue.addr(0))
+        t = int(self.queue.data[0])
+        if t < n_tasks:
+            self.queue.data[0] = t + 1
+            yield ("w", self.queue.addr(0))
+        yield ("u", 0)
+        return t
+
+    # ------------------------------------------------------------------
+    def thread(self, tid: int) -> Iterator[tuple]:
+        g = self.grid_dim
+        # First touch: scene structures built by their owners.
+        for s in self.chunk(self.n_spheres, tid):
+            for f in range(_SPHERE_FIELDS):
+                yield ("w", self._sphere_addr(s, f))
+            yield ("c", 12)
+        for cell in self.chunk(g * g * g, tid):
+            yield ("w", self._cell_addr(cell, 0))
+            for k, _s in enumerate(self.cell_lists.get(cell, [])[:_CELL_CAP]):
+                yield ("w", self._cell_addr(cell, 1 + k))
+        if tid == 0:
+            yield ("w", self.queue.addr(0))
+        yield ("b", 0)
+
+        dim = self.image_dim
+        tiles_per_row = dim // self.tile
+        n_tasks = tiles_per_row * tiles_per_row
+        eye = np.array([0.5, 0.5, -1.0])
+        while True:
+            t = yield from self._take_task(n_tasks)
+            if t >= n_tasks:
+                break
+            ty, tx = divmod(t, tiles_per_row)
+            for py in range(ty * self.tile, (ty + 1) * self.tile):
+                for px in range(tx * self.tile, (tx + 1) * self.tile):
+                    target = np.array([px / dim, py / dim, 0.5])
+                    d = target - eye
+                    d = d / np.linalg.norm(d)
+                    hit = yield from self._trace(np.array([px / dim, py / dim, 0.0]), d, 1)
+                    self.image.data[py * dim + px] = float(hit)
+                    yield ("w", self.image.addr(py * dim + px))
+                    yield ("c", 25)
+        yield ("b", 0)

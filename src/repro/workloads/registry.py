@@ -1,0 +1,57 @@
+"""Workload registry keyed by the paper's application names."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.workloads.base import Workload
+
+_REGISTRY: dict[str, Type[Workload]] = {}
+
+#: The paper's application order (Table 1 / the figures).
+PAPER_ORDER = [
+    "barnes",
+    "cholesky",
+    "fft",
+    "fmm",
+    "lu_contig",
+    "lu_noncontig",
+    "ocean_contig",
+    "ocean_noncontig",
+    "radiosity",
+    "radix",
+    "raytrace",
+    "volrend",
+    "water_n2",
+    "water_sp",
+]
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def workload_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def paper_workloads() -> list[str]:
+    """The 14 applications in the paper's canonical order."""
+    return [n for n in PAPER_ORDER if n in _REGISTRY]

@@ -1,0 +1,129 @@
+"""Volrend: ray-cast volume rendering of a shared voxel volume.
+
+Every processor casts rays through the *same* volume (the paper's input is
+a 256x256x126 CT head): the voxel data and the opacity/color lookup tables
+are read-shared by everyone, making Volrend replication-hungry — a
+Figure-4 application.  Rays terminate early once accumulated opacity
+saturates, and image tiles come from a shared task queue.
+
+Voxels are one byte each (64 per cache line), so the volume's line
+footprint is compact and heavily re-read across processors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+
+@register
+class VolrendWorkload(Workload):
+    name = "volrend"
+    description = "3-D volume rendering"
+    paper_working_set_mb = 22.5  # 256x256x126 head in the paper
+    n_locks = 1
+    n_barriers = 1
+
+    tile = 8
+    opacity_cutoff = 0.95
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.vol_dim = int(48 * scale ** (1 / 3))
+        # Image edge rounded to whole tiles so the task queue covers it.
+        self.image_dim = max(self.tile, int(48 * math.sqrt(scale)) // self.tile * self.tile)
+
+    def allocate(self, space: AddressSpace) -> None:
+        v = self.vol_dim
+        self.volume = SharedArray(
+            space, "volrend.volume", v * v * v, itemsize=1, dtype=np.uint8
+        )
+        self.table = SharedArray(space, "volrend.table", 256, itemsize=8)
+        self.image = SharedArray(
+            space, "volrend.image", self.image_dim * self.image_dim, itemsize=8
+        )
+        self.queue = SharedArray(space, "volrend.queue", 8, itemsize=8, dtype=np.int64)
+        rng = self.rng("volume")
+        # A smooth blobby density field: a few Gaussian blobs.
+        coords = np.stack(
+            np.meshgrid(*[np.linspace(0, 1, v)] * 3, indexing="ij"), axis=-1
+        )
+        field = np.zeros((v, v, v))
+        for _ in range(5):
+            c = rng.random(3)
+            s = 0.1 + 0.15 * rng.random()
+            field += np.exp(-np.sum((coords - c) ** 2, axis=-1) / (2 * s * s))
+        field = 255 * field / field.max()
+        self.volume.data[:] = field.reshape(-1).astype(np.uint8)
+        self.table.data[:] = np.linspace(0, 0.08, 256)
+
+    def _vox(self, x: int, y: int, z: int) -> int:
+        v = self.vol_dim
+        return (x * v + y) * v + z
+
+    def _take_task(self, n_tasks: int):
+        yield ("l", 0)
+        yield ("r", self.queue.addr(0))
+        t = int(self.queue.data[0])
+        if t < n_tasks:
+            self.queue.data[0] = t + 1
+            yield ("w", self.queue.addr(0))
+        yield ("u", 0)
+        return t
+
+    def _cast(self, px: int, py: int):
+        """March one ray front-to-back along z with early termination."""
+        v = self.vol_dim
+        x = min(v - 1, px * v // self.image_dim)
+        y = min(v - 1, py * v // self.image_dim)
+        opacity = 0.0
+        intensity = 0.0
+        for z in range(v):
+            idx = self._vox(x, y, z)
+            yield ("r", self.volume.addr(idx))
+            sample = int(self.volume.data[idx])
+            yield ("r", self.table.addr(sample))
+            a = self.table.data[sample]
+            intensity += (1.0 - opacity) * a * sample
+            opacity += (1.0 - opacity) * a
+            yield ("c", 14)
+            if opacity > self.opacity_cutoff:
+                break
+        self.image.data[py * self.image_dim + px] = intensity
+        yield ("w", self.image.addr(py * self.image_dim + px))
+
+    # ------------------------------------------------------------------
+    def thread(self, tid: int) -> Iterator[tuple]:
+        v = self.vol_dim
+        # First touch: volume slabs along x, the lookup table by thread 0.
+        for x in self.chunk(v, tid):
+            for y in range(v):
+                # Touch one voxel per line (64 voxels span one line).
+                for z in range(0, v, 64):
+                    yield ("w", self.volume.addr(self._vox(x, y, z)))
+            yield ("c", 4 * v)
+        if tid == 0:
+            for k in range(0, 256, 8):
+                yield ("w", self.table.addr(k))
+            yield ("w", self.queue.addr(0))
+        yield ("b", 0)
+
+        dim = self.image_dim
+        tiles_per_row = dim // self.tile
+        n_tasks = tiles_per_row * tiles_per_row
+        while True:
+            t = yield from self._take_task(n_tasks)
+            if t >= n_tasks:
+                break
+            ty, tx = divmod(t, tiles_per_row)
+            for py in range(ty * self.tile, (ty + 1) * self.tile):
+                for px in range(tx * self.tile, (tx + 1) * self.tile):
+                    yield from self._cast(px, py)
+                    yield ("c", 20)
+        yield ("b", 0)

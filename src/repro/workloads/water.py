@@ -1,0 +1,221 @@
+"""Water: molecular dynamics of water molecules, in both SPLASH-2 variants.
+
+Both variants carry the smallest working sets of the suite (Table 1: 1 MB
+and 1.7 MB at full scale) and spend almost all their time inside the node,
+which is why the paper notes "For Water not much can be done, since it
+already spends almost all its time inside the node".
+
+* ``water_n2`` — the O(n^2) variant: every pair of molecules interacts
+  each step; forces accumulate into per-molecule accumulators guarded by
+  per-partition locks.
+* ``water_sp`` — the spatial variant: molecules live in a 3-D cell grid
+  ("larger data structure") and only neighbouring cells interact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.mem.address import AddressSpace
+from repro.workloads.base import SharedArray, Workload
+from repro.workloads.registry import register
+
+#: Simulated fields per molecule: position(3), velocity(3), force(3),
+#: plus intra-molecular state — 16 doubles = 2 cache lines.
+_MOL_FIELDS = 16
+
+
+class _WaterBase(Workload):
+    n_barriers = 1
+    iterations = 2
+
+    #: Auxiliary per-molecule state (predictor/corrector derivatives etc.)
+    #: touched only by the owner — most of the molecule record's footprint,
+    #: as in the real code where the pair loop reads only the positions.
+    _AUX_FIELDS = 48
+
+    def _alloc_molecules(self, space: AddressSpace, n_mol: int, tag: str) -> None:
+        self.n_mol = n_mol
+        self.mol = SharedArray(space, f"{tag}.mol", n_mol * _MOL_FIELDS, itemsize=8)
+        self.aux = SharedArray(space, f"{tag}.aux", n_mol * self._AUX_FIELDS, itemsize=8)
+        rng = self.rng("positions")
+        self.box = 1.0
+        pos = rng.random((n_mol, 3))
+        for i in range(n_mol):
+            self.mol.data[i * _MOL_FIELDS : i * _MOL_FIELDS + 3] = pos[i]
+        self.pos = pos
+
+    def _mol_addr(self, i: int, field: int) -> int:
+        return self.mol.addr(i * _MOL_FIELDS + field)
+
+    def _read_mol(self, i: int):
+        """Read a molecule's position (one line's worth of fields)."""
+        yield ("r", self._mol_addr(i, 0))
+        yield ("r", self._mol_addr(i, 1))
+        yield ("r", self._mol_addr(i, 2))
+
+    def _accumulate_force(self, i: int):
+        # Forces live on the molecule's second line (the SPLASH-2 code
+        # keeps F in separate sub-arrays), so accumulation does not
+        # invalidate readers of the position line.
+        yield ("r", self._mol_addr(i, 8))
+        yield ("w", self._mol_addr(i, 8))
+
+    def _intra_step(self, tid: int):
+        """Intra-molecular work on owned molecules (predict/correct)."""
+        for i in self.chunk(self.n_mol, tid):
+            for f in range(0, _MOL_FIELDS, 2):
+                yield ("r", self._mol_addr(i, f))
+            base = i * self._AUX_FIELDS
+            for f in range(0, self._AUX_FIELDS, 8):  # one access per line
+                yield ("r", self.aux.addr(base + f))
+                yield ("w", self.aux.addr(base + f))
+            yield ("c", 220)
+            for f in (0, 1, 2, 3, 4, 5):
+                yield ("w", self._mol_addr(i, f))
+
+    def _first_touch(self, tid: int):
+        for i in self.chunk(self.n_mol, tid):
+            for f in range(_MOL_FIELDS):
+                yield ("w", self._mol_addr(i, f))
+            base = i * self._AUX_FIELDS
+            for f in range(0, self._AUX_FIELDS, 8):
+                yield ("w", self.aux.addr(base + f))
+            yield ("c", 40)
+        yield ("b", 0)
+
+
+@register
+class WaterN2Workload(_WaterBase):
+    name = "water_n2"
+    description = "molecular dyn. N-body, O(n2)"
+    paper_working_set_mb = 1.0  # 512 molecules in the paper
+    n_locks = 16
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self._n = int(120 * math.sqrt(scale))
+
+    def allocate(self, space: AddressSpace) -> None:
+        self._alloc_molecules(space, self._n, "water_n2")
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        n = self.n_mol
+        for _ in range(self.iterations):
+            yield from self._intra_step(tid)
+            yield ("b", 0)
+            # Pairwise forces, balanced as in the SPLASH-2 code: each
+            # owned molecule interacts with the next n/2 molecules
+            # cyclically, so every molecule has the same partner count.
+            # Contributions accumulate into thread-private arrays...
+            half = n // 2
+            for i in self.chunk(n, tid):
+                yield from self._read_mol(i)
+                for k in range(1, half + 1):
+                    j = (i + k) % n
+                    yield from self._read_mol(j)
+                    yield ("c", 360)  # O-O, O-H, H-H pair terms (9 distances + sqrt)
+            yield ("b", 0)
+            # ... and are merged into the shared per-molecule force
+            # accumulators under per-partition locks.
+            for j in range(n):
+                lid = j % self.n_locks
+                yield ("l", lid)
+                yield from self._accumulate_force(j)
+                yield ("u", lid)
+            yield ("b", 0)
+            yield from self._intra_step(tid)
+            yield ("b", 0)
+
+
+@register
+class WaterSpWorkload(_WaterBase):
+    name = "water_sp"
+    description = "molecular dyn. N-body, O(n), larger data structure"
+    paper_working_set_mb = 1.7
+    n_locks = 16
+
+    def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
+        super().__init__(n_threads, scale, seed)
+        self.cells_per_dim = max(3, int(4 * scale ** (1 / 3)))
+        # ~8 molecules per cell, like the SPLASH-2 density.
+        self._n = 8 * self.cells_per_dim ** 3
+
+    def allocate(self, space: AddressSpace) -> None:
+        self._alloc_molecules(space, self._n, "water_sp")
+        c = self.cells_per_dim
+        # Cell list structure: per cell a fixed-capacity molecule list
+        # (the "larger data structure" of Table 1).
+        self.cell_cap = 16
+        self.cells = SharedArray(
+            space, "water_sp.cells", c * c * c * self.cell_cap, itemsize=8, dtype=np.int64
+        )
+        self.cell_count = SharedArray(
+            space, "water_sp.count", c * c * c, itemsize=8, dtype=np.int64
+        )
+        # Precompute a static assignment of molecules to cells.
+        self.mol_cell = [
+            (
+                min(c - 1, int(self.pos[i][0] * c)),
+                min(c - 1, int(self.pos[i][1] * c)),
+                min(c - 1, int(self.pos[i][2] * c)),
+            )
+            for i in range(self._n)
+        ]
+
+    def _cell_idx(self, x: int, y: int, z: int) -> int:
+        c = self.cells_per_dim
+        return (x * c + y) * c + z
+
+    def thread(self, tid: int) -> Iterator[tuple]:
+        yield from self._first_touch(tid)
+        c = self.cells_per_dim
+        n = self.n_mol
+        # Build the cell lists: owners insert their molecules.
+        for i in self.chunk(n, tid):
+            ci = self._cell_idx(*self.mol_cell[i])
+            lid = ci % self.n_locks
+            yield ("l", lid)
+            yield ("r", self.cell_count.addr(ci))
+            cnt = int(self.cell_count.data[ci])
+            if cnt < self.cell_cap:
+                self.cells.data[ci * self.cell_cap + cnt] = i
+                self.cell_count.data[ci] = cnt + 1
+                yield ("w", self.cells.addr(ci * self.cell_cap + cnt))
+                yield ("w", self.cell_count.addr(ci))
+            yield ("u", lid)
+        yield ("b", 0)
+        cell_of = {}
+        for i in range(n):
+            cell_of.setdefault(self.mol_cell[i], []).append(i)
+        for _ in range(self.iterations):
+            yield from self._intra_step(tid)
+            yield ("b", 0)
+            # Neighbour-cell interactions for owned molecules.
+            for i in self.chunk(n, tid):
+                x, y, z = self.mol_cell[i]
+                yield from self._read_mol(i)
+                for dx in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        for dz in (-1, 0, 1):
+                            nx, ny, nz = x + dx, y + dy, z + dz
+                            if not (0 <= nx < c and 0 <= ny < c and 0 <= nz < c):
+                                continue
+                            ci = self._cell_idx(nx, ny, nz)
+                            yield ("r", self.cell_count.addr(ci))
+                            for j in cell_of.get((nx, ny, nz), [])[:4]:
+                                if j == i:
+                                    continue
+                                yield ("r", self.cells.addr(ci * self.cell_cap))
+                                yield from self._read_mol(j)
+                                yield ("c", 170)
+                yield from self._accumulate_force(i)
+            yield ("b", 0)
+            yield from self._intra_step(tid)
+            yield ("b", 0)
+
+

@@ -1,0 +1,85 @@
+"""Tests for the analytic models against the paper's quoted numbers."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analytic.memorypressure import (
+    am_bytes_per_node,
+    pressure_for_fill,
+    total_am_bytes,
+)
+from repro.analytic.replication import (
+    max_replication_degree,
+    paper_thresholds,
+    replication_threshold,
+)
+
+
+class TestReplicationThresholds:
+    def test_paper_numbers_exact(self):
+        """Section 4.2 quotes all four thresholds; they must match."""
+        assert replication_threshold(16, 4) == Fraction(49, 64)    # 76.5%
+        assert replication_threshold(16, 8) == Fraction(113, 128)  # 88.2%
+        assert replication_threshold(4, 4) == Fraction(13, 16)     # 81.25%
+        assert replication_threshold(4, 8) == Fraction(29, 32)     # 90.6%
+
+    def test_paper_thresholds_mapping(self):
+        th = paper_thresholds()
+        assert th["16 nodes, 4-way"] == Fraction(49, 64)
+        assert len(th) == 4
+
+    def test_clustering_raises_threshold(self):
+        """The paper's observation: 4-processor clusters tolerate higher
+        pressure before replication space runs out (81.25% > 76.5%)."""
+        assert replication_threshold(4, 4) > replication_threshold(16, 4)
+
+    def test_associativity_raises_threshold(self):
+        assert replication_threshold(16, 8) > replication_threshold(16, 4)
+
+    def test_degenerate_single_node(self):
+        assert replication_threshold(1, 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replication_threshold(0, 4)
+
+    def test_max_replication_degree(self):
+        # At the threshold exactly, full replication still fits.
+        th = replication_threshold(16, 4)
+        assert max_replication_degree(16, 4, th) == 16
+        # Above it, fewer copies fit.
+        assert max_replication_degree(16, 4, Fraction(14, 16)) < 16
+        # Never below one copy (the owner), never above one per node.
+        assert max_replication_degree(16, 4, Fraction(1, 1)) == 1
+        assert max_replication_degree(16, 4, Fraction(1, 100)) == 16
+
+
+class TestMemoryPressureMath:
+    def test_total_am(self):
+        assert total_am_bytes(1000, 0.5) == 2000
+        assert total_am_bytes(1000, 1) == 1000
+
+    def test_per_node(self):
+        assert am_bytes_per_node(1600, 0.5, 16) == 200
+
+    def test_pressure_for_fill_matches_paper(self):
+        """Section 3.1: a single working-set copy fills 1, 8, 12, 13, 14
+        of the 16 attraction memories."""
+        assert pressure_for_fill(1, 16) == Fraction(1, 16)
+        assert pressure_for_fill(8, 16) == Fraction(1, 2)
+        assert pressure_for_fill(12, 16) == Fraction(3, 4)
+        assert pressure_for_fill(13, 16) == Fraction(13, 16)
+        assert pressure_for_fill(14, 16) == Fraction(7, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_am_bytes(0, 0.5)
+        with pytest.raises(ValueError):
+            total_am_bytes(100, 0)
+        with pytest.raises(ValueError):
+            am_bytes_per_node(100, 0.5, 0)
+        with pytest.raises(ValueError):
+            pressure_for_fill(17, 16)

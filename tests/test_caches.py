@@ -1,0 +1,90 @@
+"""Unit tests for the L1 and second-level caches."""
+
+from __future__ import annotations
+
+from repro.caches.l1 import L1Cache
+from repro.caches.slc import SecondLevelCache
+from repro.common.config import CacheGeometry
+
+
+def _geom(sets=4, assoc=2):
+    return CacheGeometry(num_sets=sets, assoc=assoc, line_size=64)
+
+
+class TestL1:
+    def test_fill_and_lookup(self):
+        l1 = L1Cache(_geom(sets=4, assoc=1))
+        assert l1.lookup(5) is False
+        l1.fill(5)
+        assert l1.lookup(5) is True
+
+    def test_direct_mapped_conflict(self):
+        l1 = L1Cache(_geom(sets=4, assoc=1))
+        l1.fill(1)
+        l1.fill(5)  # same set (5 % 4 == 1), displaces line 1
+        assert l1.lookup(1) is False
+        assert l1.lookup(5) is True
+
+    def test_write_no_allocate(self):
+        l1 = L1Cache(_geom())
+        assert l1.write_hit(3) is False
+        assert l1.lookup(3) is False, "write miss does not allocate"
+        l1.fill(3)
+        assert l1.write_hit(3) is True
+
+    def test_invalidate(self):
+        l1 = L1Cache(_geom())
+        l1.fill(2)
+        assert l1.invalidate(2) is True
+        assert l1.lookup(2) is False
+
+    def test_refill_same_line_noop(self):
+        l1 = L1Cache(_geom())
+        l1.fill(2)
+        l1.fill(2)
+        assert l1.occupancy == 1
+
+
+class TestSlc:
+    def test_fill_returns_victim(self):
+        slc = SecondLevelCache(_geom(sets=1, assoc=2))
+        assert slc.fill(0) is None
+        assert slc.fill(1) is None
+        victim = slc.fill(2)
+        assert victim is not None
+        assert victim.line == 0, "LRU way displaced"
+        assert victim.dirty is False
+
+    def test_dirty_victim_reported(self):
+        slc = SecondLevelCache(_geom(sets=1, assoc=1))
+        slc.fill(0)
+        slc.mark_dirty(0)
+        victim = slc.fill(1)
+        assert victim is not None and victim.dirty is True
+
+    def test_lookup_refreshes_lru(self):
+        slc = SecondLevelCache(_geom(sets=1, assoc=2))
+        slc.fill(0)
+        slc.fill(1)
+        slc.lookup(0)  # 1 becomes LRU
+        victim = slc.fill(2)
+        assert victim.line == 1
+
+    def test_contains(self):
+        slc = SecondLevelCache(_geom())
+        slc.fill(7)
+        assert 7 in slc
+        assert 8 not in slc
+
+    def test_invalidate(self):
+        slc = SecondLevelCache(_geom())
+        slc.fill(7)
+        slc.mark_dirty(7)
+        assert slc.invalidate(7) is True
+        assert 7 not in slc
+        assert slc.invalidate(7) is False
+
+    def test_fill_existing_line_no_victim(self):
+        slc = SecondLevelCache(_geom(sets=1, assoc=1))
+        slc.fill(0)
+        assert slc.fill(0) is None

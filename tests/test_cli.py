@@ -1,0 +1,95 @@
+"""CLI tests: parser wiring and command smoke runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fft"])
+        assert args.workload == "fft"
+        assert args.machine == "coma"
+        assert args.procs_per_node == 1
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "radix",
+                "--procs-per-node", "4",
+                "--memory-pressure", "0.8125",
+                "--am-assoc", "8",
+                "--non-inclusive",
+                "--dram-bandwidth", "2",
+            ]
+        )
+        assert args.procs_per_node == 4
+        assert args.am_assoc == 8
+        assert args.non_inclusive is True
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fft" in out and "synth_uniform" in out
+
+    def test_thresholds(self, capsys):
+        assert main(["thresholds"]) == 0
+        assert "76" in capsys.readouterr().out
+
+    def test_run_smoke(self, capsys):
+        rc = main(["run", "synth_private", "--scale", "0.25", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RNMr" in out
+
+    def test_run_numa(self, capsys):
+        rc = main(
+            ["run", "synth_private", "--machine", "numa", "--scale", "0.25",
+             "--no-cache"]
+        )
+        assert rc == 0
+
+    def test_bad_figure_number(self, capsys):
+        assert main(["figure", "9"]) == 2
+
+    def test_bad_table_number(self):
+        assert main(["table", "2"]) == 2
+
+    def test_protocol(self, capsys):
+        assert main(["protocol"]) == 0
+        out = capsys.readouterr().out
+        assert "transition table" in out and "read_excl" in out
+
+    def test_profile_smoke(self, capsys):
+        rc = main(
+            ["profile", "synth_private", "--scale", "0.25", "--every", "1000"]
+        )
+        assert rc == 0
+        assert "replication degree" in capsys.readouterr().out
+
+    def test_export_table1_csv(self, capsys):
+        assert main(["export", "table1", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("app,")
+        assert "barnes" in out
+
+    def test_export_table1_json_unsupported(self, capsys):
+        assert main(["export", "table1", "--format", "json"]) == 2
+
+    def test_export_parser_choices(self):
+        args = build_parser().parse_args(["export", "figure3", "--format", "json"])
+        assert args.artifact == "figure3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "figure9"])

@@ -1,0 +1,179 @@
+"""Unit tests for repro.common: units, errors, RNG, configuration."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.common.config import (
+    CacheGeometry,
+    MachineConfig,
+    TimingConfig,
+    PAPER_MEMORY_PRESSURES,
+)
+from repro.common.errors import ConfigError, DataLossError, ProtocolError, ReproError
+from repro.common.rng import derive_seed, make_rng
+from repro.common.units import GiB, KiB, MiB, fmt_bytes, fmt_time
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2 * KiB) == "2.00 KiB"
+        assert fmt_bytes(3 * MiB) == "3.00 MiB"
+        assert fmt_bytes(GiB) == "1.00 GiB"
+
+    def test_fmt_time(self):
+        assert fmt_time(5) == "5 ns"
+        assert fmt_time(1500) == "1.500 us"
+        assert fmt_time(2_000_000) == "2.000 ms"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ProtocolError, ReproError)
+        assert issubclass(DataLossError, ProtocolError)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_tag_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        # Tag boundaries matter: ("ab",) != ("a", "b").
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_make_rng_streams_independent(self):
+        a = make_rng(7, "x").integers(0, 1 << 30, 8)
+        b = make_rng(7, "y").integers(0, 1 << 30, 8)
+        assert list(a) != list(b)
+
+    def test_make_rng_reproducible(self):
+        assert list(make_rng(7, "x").integers(0, 100, 16)) == list(
+            make_rng(7, "x").integers(0, 100, 16)
+        )
+
+
+class TestCacheGeometry:
+    def test_basic(self):
+        g = CacheGeometry(num_sets=10, assoc=4, line_size=64)
+        assert g.size_bytes == 10 * 4 * 64
+        assert g.num_lines == 40
+
+    def test_odd_set_counts_allowed(self):
+        g = CacheGeometry(num_sets=13, assoc=4, line_size=64)
+        assert g.set_index(13) == 0
+        assert g.set_index(14) == 1
+
+    def test_from_size_rounds(self):
+        g = CacheGeometry.from_size(1000 * 64, assoc=4, line_size=64)
+        assert g.num_sets == 250
+
+    def test_from_size_minimum_one_set(self):
+        g = CacheGeometry.from_size(1, assoc=4, line_size=64)
+        assert g.num_sets == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sets": 0, "assoc": 4, "line_size": 64},
+            {"num_sets": 4, "assoc": 0, "line_size": 64},
+            {"num_sets": 4, "assoc": 4, "line_size": 48},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheGeometry(**kwargs)
+
+
+class TestTimingConfig:
+    def test_paper_latencies(self):
+        t = TimingConfig()
+        assert t.am_hit_ns == 148, "24 + 100 + 24 (section 3.2)"
+        assert t.remote_ns == 332, "remote access 332 ns (section 3.2)"
+        assert t.slc_hit_ns == 32
+        assert t.l1_hit_ns == 0
+
+    def test_bandwidth_scales_occupancy_not_latency(self):
+        t = TimingConfig(dram_bandwidth_factor=2.0)
+        assert t.dram_busy_ns == 50
+        assert t.dram_latency_ns == 100
+        assert t.am_hit_ns == 148
+
+    def test_bus_halving(self):
+        t = TimingConfig(bus_bandwidth_factor=0.5)
+        assert t.bus_busy_ns == 40
+        assert t.bus_phase_ns == 20
+
+    def test_instructions_ns(self):
+        t = TimingConfig()
+        assert t.instructions_ns(0) == 0
+        assert t.instructions_ns(4) == 4, "4-wide at 4 ns/cycle"
+        assert t.instructions_ns(5) == 8
+        assert t.instructions_ns(400) == 400
+
+    def test_invalid_factors(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(dram_bandwidth_factor=0)
+        with pytest.raises(ConfigError):
+            TimingConfig(write_buffer_entries=0)
+
+
+class TestMachineConfig:
+    def test_paper_pressures(self):
+        assert PAPER_MEMORY_PRESSURES["6%"] == Fraction(1, 16)
+        assert PAPER_MEMORY_PRESSURES["87%"] == Fraction(14, 16)
+
+    def test_node_mapping_sequential(self):
+        cfg = MachineConfig(n_processors=16, procs_per_node=4)
+        assert cfg.n_nodes == 4
+        assert cfg.node_of_proc(0) == 0
+        assert cfg.node_of_proc(3) == 0
+        assert cfg.node_of_proc(4) == 1
+        assert list(cfg.procs_of_node(3)) == [12, 13, 14, 15]
+
+    def test_clustering_must_divide(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_processors=16, procs_per_node=3)
+
+    def test_sized_for_constant_am_per_processor(self):
+        ws = 1 << 20
+        cfgs = {
+            ppn: MachineConfig(procs_per_node=ppn).sized_for(ws) for ppn in (1, 2, 4)
+        }
+        per_proc = {
+            ppn: cfg.am_bytes_per_node / ppn for ppn, cfg in cfgs.items()
+        }
+        # "the attraction memory in a node with two processors is twice the
+        # size of an attraction memory in a one processor node"
+        assert per_proc[1] == pytest.approx(per_proc[2], rel=0.01)
+        assert per_proc[1] == pytest.approx(per_proc[4], rel=0.01)
+
+    def test_sized_for_pressure(self):
+        ws = 1 << 20
+        cfg = MachineConfig(memory_pressure=Fraction(1, 2)).sized_for(ws)
+        total = cfg.am_bytes_per_node * cfg.n_nodes
+        assert total == pytest.approx(2 * ws, rel=0.01)
+
+    def test_sized_for_slc_ratio(self):
+        ws = 1 << 20
+        cfg = MachineConfig().sized_for(ws)
+        assert cfg.slc_bytes == ws // 128
+
+    def test_unsized_geometry_raises(self):
+        with pytest.raises(ConfigError):
+            _ = MachineConfig().am_geometry
+
+    def test_describe(self):
+        cfg = MachineConfig(procs_per_node=4).sized_for(1 << 20)
+        text = cfg.describe()
+        assert "16p/4n" in text and "50.0%" in text

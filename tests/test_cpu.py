@@ -1,0 +1,94 @@
+"""Unit tests for the write buffer and processor state."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import TimingConfig
+from repro.cpu.processor import Processor
+from repro.cpu.writebuffer import WriteBuffer
+
+
+class TestWriteBuffer:
+    def test_no_stall_until_full(self):
+        wb = WriteBuffer(capacity=3)
+        for k in range(3):
+            now, stall = wb.wait_for_slot(0)
+            assert stall == 0
+            wb.push(1000 + k)
+        now, stall = wb.wait_for_slot(0)
+        assert now == 1000 and stall == 1000, "waits for the oldest write"
+        assert len(wb) == 2
+
+    def test_prune_retires_completed(self):
+        wb = WriteBuffer(capacity=2)
+        wb.push(100)
+        wb.push(200)
+        wb.prune(150)
+        assert len(wb) == 1
+
+    def test_out_of_order_completions(self):
+        wb = WriteBuffer(capacity=2)
+        wb.push(500)
+        wb.push(100)  # completes before the first
+        now, stall = wb.wait_for_slot(0)
+        assert now == 100, "min-heap finds the earliest completion"
+
+    def test_drain(self):
+        wb = WriteBuffer(capacity=10)
+        wb.push(300)
+        wb.push(700)
+        now, stall = wb.drain(100)
+        assert now == 700 and stall == 600
+        assert len(wb) == 0
+
+    def test_drain_empty_or_past(self):
+        wb = WriteBuffer(capacity=10)
+        assert wb.drain(50) == (50, 0)
+        wb.push(40)
+        assert wb.drain(50) == (50, 0), "already completed: no stall"
+
+    def test_capacity_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.integers(0, 500)), max_size=60)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacity(self, writes):
+        """Property: outstanding (unretired) writes never exceed capacity."""
+        wb = WriteBuffer(capacity=4)
+        now = 0
+        for gap, latency in writes:
+            now += gap
+            now, _ = wb.wait_for_slot(now)
+            wb.push(now + latency)
+            assert len(wb) <= 4
+
+
+class TestProcessor:
+    def test_initial_state(self):
+        p = Processor(3, TimingConfig())
+        assert p.pid == 3 and p.clock == 0
+        assert p.done, "no program means done"
+
+    def test_block_unblock_charges_sync(self):
+        p = Processor(0, TimingConfig(), program=iter(()))
+        p.clock = 100
+        p.block()
+        p.unblock(350)
+        assert p.clock == 350
+        assert p.acct.sync == 250
+        assert not p.blocked
+
+    def test_unblock_in_past_keeps_clock(self):
+        p = Processor(0, TimingConfig(), program=iter(()))
+        p.clock = 500
+        p.block()
+        p.unblock(400)
+        assert p.clock == 500
+        assert p.acct.sync == 0

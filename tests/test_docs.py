@@ -1,0 +1,51 @@
+"""Documentation consistency checks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDocsPresent:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/ARCHITECTURE.md", "docs/PROTOCOL.md"]
+    )
+    def test_exists_and_substantial(self, name):
+        path = ROOT / name
+        assert path.exists(), f"{name} missing"
+        assert len(path.read_text()) > 1000, f"{name} is a stub"
+
+
+class TestProtocolDocInSync:
+    def test_protocol_md_matches_table(self):
+        from repro.coma.protocol import format_table
+
+        doc = (ROOT / "docs" / "PROTOCOL.md").read_text()
+        assert format_table() in doc, (
+            "docs/PROTOCOL.md is stale; regenerate it from "
+            "repro.coma.protocol.format_table()"
+        )
+
+
+class TestPublicApiDocumented:
+    def test_package_docstrings(self):
+        """Every repro subpackage carries a module docstring."""
+        import importlib
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            mod = importlib.import_module(info.name)
+            assert mod.__doc__, f"{info.name} lacks a docstring"
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

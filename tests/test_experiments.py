@@ -1,0 +1,170 @@
+"""Tests for the experiment harness: runner caching, figure modules,
+Table 1, and the ablations (all at reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner as runner_mod
+from repro.experiments.ablations import (
+    format_replication_thresholds,
+    run_bus_ablation,
+    run_inclusion_ablation,
+)
+from repro.experiments.common import FIGURE3_APPS, FIGURE4_APPS, MP_SWEEP, bar, stacked_bar
+from repro.experiments.figure2 import averages, format_figure2, run_figure2
+from repro.experiments.figure3 import TrafficPoint, TrafficSweep, format_traffic, run_traffic_sweep
+from repro.experiments.figure5 import clustering_recovers, format_figure5, run_figure5
+from repro.experiments.runner import RunSpec, build_simulation, clear_memory_cache, run_spec
+from repro.experiments.table1 import format_table1, measure_working_set, run_table1
+
+
+class TestRunSpec:
+    def test_key_stable(self):
+        a = RunSpec(workload="fft")
+        b = RunSpec(workload="fft")
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_fields(self):
+        base = RunSpec(workload="fft")
+        assert base.key() != base.with_(procs_per_node=4).key()
+        assert base.key() != base.with_(memory_pressure=0.75).key()
+        assert base.key() != base.with_(am_assoc=8).key()
+        assert base.key() != base.with_(machine="numa").key()
+
+    def test_with_(self):
+        s = RunSpec(workload="fft").with_(seed=5)
+        assert s.seed == 5 and s.workload == "fft"
+
+    def test_invalid_machine_kind(self):
+        with pytest.raises(ValueError):
+            build_simulation(RunSpec(workload="fft", machine="dancehall"))
+
+
+class TestCaching:
+    def test_memory_cache_returns_same_object(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        clear_memory_cache()
+        spec = RunSpec(workload="synth_private", scale=0.25)
+        r1 = run_spec(spec)
+        r2 = run_spec(spec)
+        assert r1 is r2
+
+    def test_disk_cache_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        clear_memory_cache()
+        spec = RunSpec(workload="synth_private", scale=0.25)
+        r1 = run_spec(spec)
+        clear_memory_cache()
+        r2 = run_spec(spec)  # must come from disk
+        assert r2.counters == r1.counters
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_corrupt_cache_entry_recovered(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        clear_memory_cache()
+        spec = RunSpec(workload="synth_private", scale=0.25)
+        (tmp_path / f"{spec.key()}.json").write_text("{not json")
+        r = run_spec(spec)
+        assert r.counters["reads"] > 0
+
+
+class TestCommonHelpers:
+    def test_mp_sweep_matches_paper(self):
+        assert [label for label, _ in MP_SWEEP] == ["6%", "50%", "75%", "81%", "87%"]
+        assert dict(MP_SWEEP)["87%"] == 14 / 16
+
+    def test_figure_groups_partition_the_suite(self):
+        assert len(FIGURE3_APPS) == 8 and len(FIGURE4_APPS) == 6
+        assert not set(FIGURE3_APPS) & set(FIGURE4_APPS)
+
+    def test_bar_rendering(self):
+        assert bar(0.5, width=10) == "#####"
+        assert bar(-1, width=10) == ""
+        assert len(bar(99, width=10)) == 15, "clamped at 150%"
+
+    def test_stacked_bar(self):
+        s = stacked_bar({"read": 50.0, "write": 25.0, "replace": 25.0}, 100.0, 8)
+        assert s == "RRRRWWXX"
+
+
+@pytest.fixture(scope="module")
+def fig2_rows():
+    return run_figure2(scale=0.4, workloads=["fft", "synth_private"], use_cache=True)
+
+
+class TestFigure2:
+    def test_rows_shape(self, fig2_rows):
+        assert len(fig2_rows) == 2
+        for r in fig2_rows:
+            assert r.rnmr_1 >= 0
+
+    def test_clustering_reduces_fft_rnmr(self, fig2_rows):
+        fft = next(r for r in fig2_rows if r.app == "fft")
+        assert fft.relative_4 < 1.0, "4-way clustering cuts FFT node misses"
+        assert fft.relative_4 <= fft.relative_2 + 0.05
+
+    def test_averages_and_format(self, fig2_rows):
+        a2, a4 = averages(fig2_rows)
+        assert 0 < a4 <= a2 + 0.1
+        text = format_figure2(fig2_rows)
+        assert "Figure 2" in text and "average" in text
+
+
+class TestTrafficSweep:
+    def test_sweep_and_format(self):
+        sweep = run_traffic_sweep(["synth_private"], scale=0.25)
+        assert len(sweep.points) == 10, "2 clusterings x 5 pressures"
+        p = sweep.get("synth_private", 1, "50%")
+        assert isinstance(p, TrafficPoint)
+        assert p.total >= 0
+        text = format_traffic(sweep, "test title")
+        assert "synth_private" in text
+
+    def test_get_missing_raises(self):
+        sweep = TrafficSweep()
+        with pytest.raises(KeyError):
+            sweep.get("x", 1, "50%")
+
+
+class TestFigure5:
+    def test_three_bars_per_app(self):
+        bars = run_figure5(scale=0.4, workloads=["fft"])
+        assert [b.label for b in bars] == ["1p 50%", "1p 81%", "4p 81%"]
+        assert all(b.total > 0 for b in bars)
+        text = format_figure5(bars)
+        assert "Figure 5" in text
+        # clustering_recovers is computable either way.
+        assert clustering_recovers(bars, "fft") in (True, False)
+
+
+class TestTable1:
+    def test_row_per_application(self):
+        rows = run_table1(scale=0.5)
+        assert len(rows) == 14
+        assert all(r.our_ws_bytes > 0 for r in rows)
+        text = format_table1(rows)
+        assert "Table 1" in text and "barnes" in text
+
+    def test_measure_working_set(self):
+        assert measure_working_set("water_n2", scale=0.5) > 0
+
+
+class TestAblations:
+    def test_replication_threshold_text(self):
+        text = format_replication_thresholds()
+        assert "76.6%" in text or "76.5%" in text
+        assert "90.6%" in text
+
+    def test_bus_ablation_shape(self):
+        rows = run_bus_ablation(workloads=["synth_private"], scale=0.25)
+        assert len(rows) == 1
+        r = rows[0]
+        assert r.slowdown_full_bus > 0 and r.slowdown_half_bus > 0
+
+    def test_inclusion_ablation_shape(self):
+        rows = run_inclusion_ablation(workloads=["synth_hotspot"], scale=0.25)
+        assert rows[0].traffic_inclusive > 0

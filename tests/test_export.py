@@ -1,0 +1,90 @@
+"""Tests for the CSV/JSON exporters."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    figure2_csv,
+    figure2_json,
+    figure5_csv,
+    figure5_json,
+    table1_csv,
+    traffic_csv,
+    traffic_json,
+)
+from repro.experiments.figure2 import Figure2Row
+from repro.experiments.figure3 import TrafficPoint, TrafficSweep
+from repro.experiments.figure5 import Figure5Bar
+from repro.experiments.table1 import Table1Row
+
+
+@pytest.fixture
+def fig2_rows():
+    return [
+        Figure2Row("fft", 0.10, 0.09, 0.07),
+        Figure2Row("radix", 0.20, 0.19, 0.16),
+    ]
+
+
+@pytest.fixture
+def sweep():
+    s = TrafficSweep()
+    s.points.append(
+        TrafficPoint("fft", 1, "50%", 4, {"read": 100, "write": 20, "replace": 5})
+    )
+    s.points.append(
+        TrafficPoint("fft", 4, "50%", 4, {"read": 80, "write": 15, "replace": 2})
+    )
+    return s
+
+
+@pytest.fixture
+def fig5_bars():
+    return [
+        Figure5Bar("fft", "1p 50%", {"busy": 10.0, "slc": 1.0, "am": 2.0, "remote": 5.0})
+    ]
+
+
+class TestCsv:
+    def test_figure2(self, fig2_rows):
+        rows = list(csv.DictReader(io.StringIO(figure2_csv(fig2_rows))))
+        assert len(rows) == 2
+        assert rows[0]["app"] == "fft"
+        assert float(rows[0]["relative_4p"]) == pytest.approx(0.7)
+
+    def test_traffic(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(traffic_csv(sweep))))
+        assert len(rows) == 2
+        assert int(rows[0]["total_bytes"]) == 125
+
+    def test_figure5(self, fig5_bars):
+        rows = list(csv.DictReader(io.StringIO(figure5_csv(fig5_bars))))
+        assert float(rows[0]["total_ns"]) == 18.0
+
+    def test_table1(self):
+        rows = list(
+            csv.DictReader(
+                io.StringIO(table1_csv([Table1Row("fft", "FFT", 50.0, 1024)]))
+            )
+        )
+        assert rows[0]["our_ws_bytes"] == "1024"
+
+
+class TestJson:
+    def test_figure2(self, fig2_rows):
+        data = json.loads(figure2_json(fig2_rows))
+        assert data[0]["rnmr"]["1p"] == 0.10
+        assert data[1]["relative"]["4p"] == pytest.approx(0.8)
+
+    def test_traffic(self, sweep):
+        data = json.loads(traffic_json(sweep))
+        assert data[0]["traffic_bytes"]["read"] == 100
+
+    def test_figure5(self, fig5_bars):
+        data = json.loads(figure5_json(fig5_bars))
+        assert data[0]["breakdown_ns"]["busy"] == 10.0

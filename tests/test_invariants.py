@@ -1,0 +1,129 @@
+"""Property-based protocol invariant tests.
+
+The central COMA invariant: every materialized line has exactly one owner
+copy somewhere (E or O) — losing it would lose the datum, since there is
+no backing main memory.  We fire random operation soups at machines of
+several shapes (inclusive and non-inclusive, clustered and not, with
+pathologically small attraction memories to maximize replacement stress)
+and check the full machine consistency afterwards.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_machine
+
+LINE = 64
+
+# Operations: (proc 0-3, kind, line 0-23).  24 lines over a machine with
+# 2 nodes x (1-4 sets x 1-2 ways) guarantees heavy conflict pressure.
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.sampled_from(["r", "w", "rmw"]),
+        st.integers(0, 23),
+    ),
+    max_size=150,
+)
+
+
+def apply_ops(machine, ops):
+    t = 0
+    for proc, kind, line in ops:
+        addr = line * LINE
+        t += 50
+        if kind == "r":
+            machine.read(proc, addr, t)
+        elif kind == "w":
+            machine.write(proc, addr, t)
+        else:
+            machine.rmw(proc, addr, t)
+
+
+class TestProtocolInvariants:
+    @given(ops=ops_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_inclusive_machine_stays_consistent(self, ops):
+        m = make_machine(
+            n_processors=4,
+            procs_per_node=2,
+            am_sets=2,
+            am_assoc=2,
+            slc_lines=4,
+            l1_lines=2,
+            page_size=128,
+        )
+        apply_ops(m, ops)
+        m.check_consistency()
+        assert m.owned_line_count() == len(m.lines), "single-owner invariant"
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_noninclusive_machine_stays_consistent(self, ops):
+        m = make_machine(
+            n_processors=4,
+            procs_per_node=2,
+            am_sets=2,
+            am_assoc=1,
+            slc_lines=4,
+            l1_lines=2,
+            page_size=128,
+            inclusive=False,
+        )
+        apply_ops(m, ops)
+        m.check_consistency()
+        assert m.owned_line_count() == len(m.lines)
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_unclustered_tiny_am(self, ops):
+        """Pathological pressure: 4 nodes x 1 set x 1 way."""
+        m = make_machine(
+            n_processors=4,
+            procs_per_node=1,
+            am_sets=1,
+            am_assoc=1,
+            slc_lines=2,
+            l1_lines=1,
+            page_size=64,
+        )
+        apply_ops(m, ops)
+        m.check_consistency()
+        assert m.owned_line_count() == len(m.lines)
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_read_counts_conserved(self, ops):
+        m = make_machine()
+        apply_ops(m, ops)
+        c = m.counters
+        reads = sum(1 for _, k, _ in ops if k == "r")
+        assert c.reads == reads
+        assert (
+            c.l1_read_hits
+            + c.slc_read_hits
+            + c.am_read_hits
+            + c.overflow_read_hits
+            + c.slc_neighbor_hits
+            + c.node_read_misses
+            == reads
+        ), "every read satisfied at exactly one level"
+        assert c.read_miss_classified == c.node_read_misses
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_time_monotonic_per_interleaved_ops(self, ops):
+        """Completion of an operation is never before its start."""
+        m = make_machine()
+        t = 0
+        for proc, kind, line in ops:
+            t += 25
+            if kind == "r":
+                done, _ = m.read(proc, line * LINE, t)
+            elif kind == "w":
+                done = m.write(proc, line * LINE, t)
+            else:
+                done, _ = m.rmw(proc, line * LINE, t)
+            assert done >= t

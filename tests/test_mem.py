@@ -1,0 +1,205 @@
+"""Unit tests for repro.mem: address space, set-assoc arrays, shadow tags."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.mem.address import AddressSpace
+from repro.mem.setassoc import INVALID, SetAssocArray
+from repro.mem.shadow import ShadowTags
+
+
+class TestAddressSpace:
+    def test_alloc_page_aligned_consecutive(self):
+        sp = AddressSpace(page_size=256)
+        a = sp.alloc(100, "a")
+        b = sp.alloc(300, "b")
+        assert a.base == 0
+        assert b.base == 256, "segments are page aligned and consecutive"
+        assert sp.allocated_bytes == 256 + 512
+
+    def test_segment_addr_bounds(self):
+        sp = AddressSpace(page_size=256)
+        seg = sp.alloc(100, "a")
+        assert seg.addr(0) == seg.base
+        with pytest.raises(IndexError):
+            seg.addr(100)
+
+    def test_first_touch_home(self):
+        sp = AddressSpace(page_size=256)
+        sp.alloc(1024, "a")
+        assert sp.ensure_page(300, node_id=2) is True
+        assert sp.ensure_page(400, node_id=5) is False, "same page, no re-home"
+        assert sp.page_home[1] == 2
+        assert sp.touched_bytes == 256
+
+    def test_touch_callback(self):
+        sp = AddressSpace(page_size=256)
+        sp.alloc(1024, "a")
+        seen = []
+        sp.on_page_touch = lambda page, node: seen.append((page, node))
+        sp.ensure_page(0, 1)
+        sp.ensure_page(600, 3)
+        assert seen == [(0, 1), (2, 3)]
+
+    def test_lines_of_page(self):
+        sp = AddressSpace(page_size=256)
+        lines = list(sp.lines_of_page(2, line_size=64))
+        assert lines == [8, 9, 10, 11]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(page_size=100)
+        sp = AddressSpace(page_size=256)
+        with pytest.raises(ConfigError):
+            sp.alloc(0, "empty")
+
+    def test_segment_named(self):
+        sp = AddressSpace(page_size=256)
+        sp.alloc(64, "x")
+        assert sp.segment_named("x").name == "x"
+        with pytest.raises(KeyError):
+            sp.segment_named("nope")
+
+
+def _geometry(sets=4, assoc=2):
+    return CacheGeometry(num_sets=sets, assoc=assoc, line_size=64)
+
+
+class TestSetAssocArray:
+    def test_fill_and_lookup(self):
+        arr = SetAssocArray(_geometry())
+        e = arr.free_way(arr.set_index(42))
+        arr.fill(e, 42, state=1)
+        assert arr.lookup(42) is e
+        assert 42 in arr
+        assert arr.occupancy == 1
+
+    def test_fill_wrong_set_asserts(self):
+        arr = SetAssocArray(_geometry())
+        e = arr.free_way(0)
+        with pytest.raises(AssertionError):
+            arr.fill(e, 1, state=1)  # line 1 maps to set 1, not 0
+
+    def test_invalidate(self):
+        arr = SetAssocArray(_geometry())
+        e = arr.free_way(2)
+        arr.fill(e, 2, state=1)
+        assert arr.invalidate_line(2) is True
+        assert arr.lookup(2) is None
+        assert arr.invalidate_line(2) is False
+
+    def test_lru_victim(self):
+        arr = SetAssocArray(_geometry(sets=1, assoc=3))
+        for line in (0, 1, 2):
+            arr.fill(arr.free_way(0), line * 1, state=1)  # all map to set 0
+        arr.touch(arr.lookup(0))  # 0 most recent; 1 is now LRU
+        victim = arr.find_victim(0)
+        assert victim.line == 1
+
+    def test_priority_victim(self):
+        arr = SetAssocArray(_geometry(sets=1, assoc=3))
+        for line, state in ((0, 2), (1, 1), (2, 2)):
+            e = arr.free_way(0)
+            arr.fill(e, line, state)
+        victim = arr.find_victim(0, priority=lambda e: 0 if e.state == 1 else 1)
+        assert victim.line == 1, "state-1 entries are preferred victims"
+
+    def test_count_state(self):
+        arr = SetAssocArray(_geometry())
+        arr.fill(arr.free_way(0), 0, state=1)
+        arr.fill(arr.free_way(1), 1, state=2)
+        assert arr.count_state(1) == 1
+        assert arr.count_state(2) == 1
+        assert arr.count_state(INVALID) == 0
+
+    def test_refill_valid_entry_updates_index(self):
+        arr = SetAssocArray(_geometry(sets=1, assoc=1))
+        e = arr.free_way(0)
+        arr.fill(e, 0, state=1)
+        arr.fill(e, 1, state=1)  # displaces line 0 in place
+        assert arr.lookup(0) is None
+        assert arr.lookup(1) is e
+        arr.check_consistency()
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["fill", "inv", "touch"]), st.integers(0, 30)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_index_matches_reference_model(self, ops):
+        """Property: the dict index always mirrors the 2-D array."""
+        arr = SetAssocArray(_geometry(sets=3, assoc=2))
+        model: set[int] = set()
+        for op, line in ops:
+            if op == "fill" and line not in arr:
+                s = arr.set_index(line)
+                e = arr.free_way(s) or arr.find_victim(s)
+                if e.valid:
+                    model.discard(e.line)
+                arr.fill(e, line, state=1)
+                model.add(line)
+            elif op == "inv":
+                arr.invalidate_line(line)
+                model.discard(line)
+            elif op == "touch" and line in arr:
+                arr.touch(arr.lookup(line))
+        arr.check_consistency()
+        assert {e.line for e in arr.valid_entries()} == model
+
+
+class TestShadowTags:
+    def test_lru_eviction(self):
+        sh = ShadowTags(2)
+        sh.access(1)
+        sh.access(2)
+        sh.access(1)  # refresh 1; 2 is LRU
+        sh.access(3)  # evicts 2
+        assert 1 in sh and 3 in sh and 2 not in sh
+
+    def test_access_returns_hit(self):
+        sh = ShadowTags(4)
+        assert sh.access(9) is False
+        assert sh.access(9) is True
+
+    def test_remove(self):
+        sh = ShadowTags(4)
+        sh.access(5)
+        sh.remove(5)
+        assert 5 not in sh
+        sh.remove(5)  # idempotent
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ShadowTags(0)
+
+    @given(st.lists(st.integers(0, 20), max_size=300), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacity(self, accesses, cap):
+        sh = ShadowTags(cap)
+        for line in accesses:
+            sh.access(line)
+            assert len(sh) <= cap
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_lru(self, accesses):
+        """Property: hit/miss sequence matches a brute-force LRU list."""
+        cap = 3
+        sh = ShadowTags(cap)
+        ref: list[int] = []
+        for line in accesses:
+            expect_hit = line in ref
+            got_hit = sh.access(line)
+            assert got_hit == expect_hit
+            if line in ref:
+                ref.remove(line)
+            ref.append(line)
+            if len(ref) > cap:
+                ref.pop(0)

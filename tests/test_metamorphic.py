@@ -1,0 +1,120 @@
+"""Metamorphic tests: relations that must hold between *pairs* of runs.
+
+These catch subtle modeling bugs that absolute assertions miss — e.g.
+timing knobs leaking into protocol behaviour, or clustering changing the
+total work instead of just its placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunSpec, build_simulation
+
+
+def run(spec: RunSpec):
+    return build_simulation(spec).run()
+
+
+class TestTimingKnobsDontChangeProtocol:
+    """With a single processor there is no interleaving freedom, so pure
+    timing knobs (bandwidth factors) must leave every counter untouched
+    and only move the clock."""
+
+    BASE = RunSpec(workload="synth_private", n_processors=1, scale=0.25)
+
+    def test_dram_bandwidth(self):
+        a = run(self.BASE)
+        b = run(self.BASE.with_(dram_bandwidth_factor=4.0))
+        assert a.counters == b.counters
+        assert a.traffic_bytes == b.traffic_bytes
+
+    def test_bus_bandwidth(self):
+        a = run(self.BASE)
+        b = run(self.BASE.with_(bus_bandwidth_factor=0.5))
+        assert a.counters == b.counters
+        assert b.elapsed_ns >= a.elapsed_ns, "less bandwidth never helps"
+
+    def test_nc_bandwidth(self):
+        a = run(self.BASE)
+        b = run(self.BASE.with_(nc_bandwidth_factor=2.0))
+        assert a.counters == b.counters
+
+
+class TestMoreResourcesNeverHurt:
+    def test_more_dram_bandwidth_never_slower(self):
+        for app in ("fft", "radix"):
+            base = RunSpec(workload=app, scale=0.4, procs_per_node=4)
+            a = run(base)
+            b = run(base.with_(dram_bandwidth_factor=4.0, nc_bandwidth_factor=2.0))
+            assert b.elapsed_ns <= a.elapsed_ns * 1.02, app
+
+    def test_bigger_am_never_more_node_misses(self):
+        """Lower memory pressure = strictly more attraction-memory space;
+        node misses must not increase."""
+        for app in ("synth_hotspot", "fft"):
+            hi = run(RunSpec(workload=app, scale=0.4, memory_pressure=14 / 16))
+            lo = run(RunSpec(workload=app, scale=0.4, memory_pressure=1 / 16))
+            assert (
+                lo.counters["node_read_misses"]
+                <= hi.counters["node_read_misses"] * 1.02
+            ), app
+
+    def test_more_associativity_never_more_conflicts(self):
+        hi = run(
+            RunSpec(workload="synth_hotspot", scale=0.4,
+                    memory_pressure=14 / 16, am_assoc=4)
+        )
+        wide = run(
+            RunSpec(workload="synth_hotspot", scale=0.4,
+                    memory_pressure=14 / 16, am_assoc=8)
+        )
+        assert (
+            wide.counters["read_miss_conflict"]
+            <= hi.counters["read_miss_conflict"]
+        )
+
+
+class TestWorkConservation:
+    """Clustering and machine kind move accesses around; they must not
+    change how many accesses the program performs."""
+
+    # Barrier-only workloads: lock hand-offs add timing-dependent spin
+    # refetches, so lock-using apps legitimately vary by a few reads.
+    @pytest.mark.parametrize("app", ["fft", "radix", "ocean_contig"])
+    def test_clustering_preserves_reference_counts(self, app):
+        a = run(RunSpec(workload=app, scale=0.4, procs_per_node=1))
+        b = run(RunSpec(workload=app, scale=0.4, procs_per_node=4))
+        assert a.counters["reads"] == b.counters["reads"]
+        assert a.counters["writes"] == b.counters["writes"]
+
+    def test_machine_kind_preserves_reference_counts(self):
+        spec = RunSpec(workload="synth_private", scale=0.25)
+        counts = {}
+        for machine in ("coma", "hcoma", "numa", "uma"):
+            r = run(spec.with_(machine=machine))
+            counts[machine] = (r.counters["reads"], r.counters["writes"])
+        assert len(set(counts.values())) == 1, counts
+
+    def test_seed_preserves_structure_for_deterministic_kernels(self):
+        """FFT's reference stream depends on the seed only through data
+        *values*, never addresses: counters must match across seeds."""
+        a = run(RunSpec(workload="fft", scale=0.4, seed=1))
+        b = run(RunSpec(workload="fft", scale=0.4, seed=2))
+        assert a.counters["reads"] == b.counters["reads"]
+        assert a.counters["writes"] == b.counters["writes"]
+
+
+class TestScalingDirections:
+    def test_uncached_reads_only_at_extreme_pressure(self):
+        low = run(RunSpec(workload="barnes", scale=0.4, memory_pressure=0.5))
+        assert low.counters["uncached_reads"] == 0
+
+    def test_hierarchy_top_bus_never_exceeds_flat_bus(self):
+        for app in ("synth_producer_consumer", "ocean_contig"):
+            flat = run(RunSpec(workload=app, scale=0.4))
+            sim = build_simulation(
+                RunSpec(workload=app, scale=0.4, machine="hcoma")
+            )
+            sim.run()
+            assert sim.machine.top_bus_bytes <= flat.total_traffic_bytes, app

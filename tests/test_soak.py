@@ -1,0 +1,68 @@
+"""Cross-machine soak test: one mixed workload with locks, barriers and
+task queues, driven through every machine kind with continuous
+consistency checking.  The last line of defence against integration rot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunSpec, build_simulation
+
+MACHINES = ["coma", "hcoma", "numa", "uma"]
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_lock_heavy_workload_on_every_machine(machine):
+    sim = build_simulation(
+        RunSpec(workload="cholesky", machine=machine, scale=0.3,
+                memory_pressure=0.75)
+    )
+    sim.check_every = 10_000
+    res = sim.run()
+    sim.machine.check_consistency()
+    assert res.counters["lock_acquires"] > 0
+    assert res.counters["barrier_episodes"] > 0
+    for p in sim.procs:
+        assert p.acct.total == p.clock
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_high_pressure_noninclusive_variants(machine):
+    kwargs = {}
+    if machine in ("coma", "hcoma"):
+        kwargs["inclusive"] = False
+    sim = build_simulation(
+        RunSpec(workload="synth_hotspot", machine=machine, scale=0.3,
+                memory_pressure=14 / 16, **kwargs)
+    )
+    sim.check_every = 5_000
+    res = sim.run()
+    sim.machine.check_consistency()
+    assert res.elapsed_ns > 0
+
+
+def test_all_knobs_at_once():
+    """Every extension knob enabled simultaneously must still hold the
+    single-owner invariant."""
+    sim = build_simulation(
+        RunSpec(
+            workload="barnes",
+            machine="coma",
+            scale=0.3,
+            procs_per_node=4,
+            memory_pressure=14 / 16,
+            am_assoc=8,
+            inclusive=False,
+            am_victim_policy="lru",
+            replacement_receiver_policy="random",
+            write_buffer_coalescing=True,
+            dram_bandwidth_factor=2.0,
+            bus_bandwidth_factor=0.5,
+        )
+    )
+    sim.check_every = 5_000
+    sim.run()
+    m = sim.machine
+    m.check_consistency()
+    assert m.owned_line_count() == len(m.lines)

@@ -1,0 +1,100 @@
+"""Tests for counters, metrics, results serialization and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunSpec, build_simulation
+from repro.sim.results import SimulationResult
+from repro.stats.counters import Counters
+from repro.stats.metrics import (
+    normalized_breakdown,
+    relative_rnmr,
+    time_breakdown_figure5,
+    traffic_by_class,
+)
+from repro.stats.report import render_run_report
+
+
+class TestCounters:
+    def test_start_at_zero(self):
+        c = Counters()
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_merged(self):
+        a, b = Counters(), Counters()
+        a.reads = 5
+        b.reads = 7
+        b.upgrades = 2
+        m = a.merged(b)
+        assert m.reads == 12 and m.upgrades == 2
+        assert a.reads == 5
+
+    def test_read_miss_classified(self):
+        c = Counters()
+        c.read_miss_cold = 1
+        c.read_miss_conflict = 2
+        assert c.read_miss_classified == 3
+
+
+@pytest.fixture(scope="module")
+def small_result() -> SimulationResult:
+    sim = build_simulation(
+        RunSpec(workload="synth_private", scale=0.25, memory_pressure=0.5)
+    )
+    return sim.run()
+
+
+class TestResults:
+    def test_round_trip(self, small_result):
+        d = small_result.to_dict()
+        back = SimulationResult.from_dict(d)
+        assert back.elapsed_ns == small_result.elapsed_ns
+        assert back.counters == small_result.counters
+        assert back.read_node_miss_rate == small_result.read_node_miss_rate
+
+    def test_json_serializable(self, small_result):
+        import json
+
+        json.dumps(small_result.to_dict())
+
+    def test_rnmr_bounds(self, small_result):
+        assert 0.0 <= small_result.read_node_miss_rate <= 1.0
+
+    def test_mean_stalls_keys(self, small_result):
+        assert set(small_result.mean_stalls) == {
+            "busy", "slc", "am", "remote", "sync", "write",
+        }
+
+    def test_miss_class_fractions_sum(self, small_result):
+        fr = small_result.miss_class_fractions
+        assert sum(fr.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMetrics:
+    def test_relative_rnmr(self, small_result):
+        assert relative_rnmr(small_result, small_result) == pytest.approx(1.0)
+
+    def test_traffic_by_class_normalization(self, small_result):
+        t = traffic_by_class(small_result, normalize_to=small_result.total_traffic_bytes)
+        assert sum(t.values()) == pytest.approx(100.0)
+
+    def test_figure5_breakdown_folds_sync_into_busy(self, small_result):
+        bd = time_breakdown_figure5(small_result)
+        m = small_result.mean_stalls
+        assert bd["busy"] == pytest.approx(m["busy"] + m["sync"] + m["write"])
+        assert set(bd) == {"busy", "slc", "am", "remote"}
+
+    def test_normalized_breakdown(self):
+        out = normalized_breakdown({"a": 50.0, "b": 50.0}, reference_total=200.0)
+        assert out == {"a": 25.0, "b": 25.0}
+        assert normalized_breakdown({"a": 1.0}, 0) == {"a": 0.0}
+
+
+class TestReport:
+    def test_render_contains_key_metrics(self, small_result):
+        text = render_run_report(small_result)
+        assert "RNMr" in text
+        assert "traffic" in text
+        assert "time split" in text
+        assert "working set" in text

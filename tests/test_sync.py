@@ -1,0 +1,46 @@
+"""Unit tests for the synchronization primitives and sim event helpers."""
+
+from __future__ import annotations
+
+from repro.mem.address import AddressSpace
+from repro.sim import events
+from repro.sync.primitives import SimBarrier, SimLock, SyncSpace
+
+
+class TestSyncSpace:
+    def test_one_line_per_primitive(self):
+        space = AddressSpace(page_size=256)
+        sync = SyncSpace(space, 64, n_locks=3, n_barriers=2)
+        addrs = [l.addr for l in sync.locks] + [b.addr for b in sync.barriers]
+        lines = {a // 64 for a in addrs}
+        assert len(lines) == 5, "no false sharing between primitives"
+
+    def test_zero_locks_allowed(self):
+        space = AddressSpace(page_size=256)
+        sync = SyncSpace(space, 64, n_locks=0, n_barriers=1)
+        assert sync.locks == []
+        assert len(sync.barriers) == 1
+
+    def test_accessors(self):
+        space = AddressSpace(page_size=256)
+        sync = SyncSpace(space, 64, 2, 2)
+        assert isinstance(sync.lock(1), SimLock)
+        assert isinstance(sync.barrier(0), SimBarrier)
+        assert sync.lock(1).lock_id == 1
+
+    def test_initial_state(self):
+        space = AddressSpace(page_size=256)
+        sync = SyncSpace(space, 64, 1, 1)
+        assert sync.lock(0).free
+        assert sync.barrier(0).arrived == {}
+        assert sync.barrier(0).generation == 0
+
+
+class TestEventHelpers:
+    def test_constructors_match_opcodes(self):
+        assert events.read(100) == ("r", 100)
+        assert events.write(100) == ("w", 100)
+        assert events.compute(8) == ("c", 8)
+        assert events.lock(1) == ("l", 1)
+        assert events.unlock(1) == ("u", 1)
+        assert events.barrier(0) == ("b", 0)

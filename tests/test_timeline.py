@@ -1,0 +1,83 @@
+"""Tests for the traffic-timeline profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunSpec, build_simulation
+from repro.stats.profiler import SharingProfiler
+from repro.stats.timeline import (
+    CompositeProfiler,
+    TrafficSample,
+    TrafficTimeline,
+    TrafficWindow,
+    format_timeline,
+)
+
+
+class TestWindows:
+    def test_differencing(self):
+        tl = TrafficTimeline()
+        tl.samples = [
+            TrafficSample(0, {"read": 0, "write": 0, "replace": 0}),
+            TrafficSample(1000, {"read": 100, "write": 20, "replace": 0}),
+            TrafficSample(3000, {"read": 300, "write": 20, "replace": 8}),
+        ]
+        ws = tl.windows()
+        assert len(ws) == 2
+        assert ws[0].bytes_by_class == {"read": 100, "write": 20, "replace": 0}
+        assert ws[1].bytes_by_class == {"read": 200, "write": 0, "replace": 8}
+        assert ws[1].start_ns == 1000 and ws[1].end_ns == 3000
+
+    def test_non_advancing_samples_skipped(self):
+        tl = TrafficTimeline()
+        tl.samples = [
+            TrafficSample(1000, {"read": 10}),
+            TrafficSample(500, {"read": 20}),   # wakeup rewound machine.now
+            TrafficSample(2000, {"read": 30}),
+        ]
+        ws = tl.windows()
+        assert len(ws) == 1
+        assert ws[0].start_ns == 500
+
+    def test_bandwidth(self):
+        w = TrafficWindow(0, 1000, {"read": 2048})
+        assert w.bandwidth_bytes_per_us == pytest.approx(2048.0)
+
+    def test_peak_empty(self):
+        assert TrafficTimeline().peak_window() is None
+
+
+class TestAttachedToSimulation:
+    def test_captures_phases(self):
+        tl = TrafficTimeline()
+        sim = build_simulation(RunSpec(workload="fft", scale=0.5))
+        sim.profiler = tl
+        sim.profile_every = 3000
+        res = sim.run()
+        tl.sample(sim.machine)  # closing sample
+        ws = tl.windows()
+        assert len(ws) >= 3, "several sample windows over the run"
+        assert sum(w.total for w in ws) <= res.total_traffic_bytes
+        peak = tl.peak_window()
+        assert peak is not None and peak.total > 0
+
+    def test_composite_profiler(self):
+        tl = TrafficTimeline()
+        sp = SharingProfiler()
+        sim = build_simulation(RunSpec(workload="synth_private", scale=0.25))
+        sim.profiler = CompositeProfiler([tl, sp])
+        sim.profile_every = 2000
+        sim.run()
+        assert len(tl.samples) > 0
+        assert sp.samples == len(tl.samples)
+
+    def test_format(self):
+        tl = TrafficTimeline()
+        sim = build_simulation(RunSpec(workload="synth_private", scale=0.25))
+        sim.profiler = tl
+        sim.profile_every = 2000
+        sim.run()
+        tl.sample(sim.machine)
+        text = format_timeline(tl)
+        assert "traffic over simulated time" in text

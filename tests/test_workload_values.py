@@ -1,0 +1,184 @@
+"""Numeric-correctness tests: the workloads are real kernels operating on
+real data, so their computational results must be right (the simulated
+address stream is only trustworthy if the control flow is)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import RunSpec, build_simulation
+from repro.workloads.registry import get_workload
+
+
+def run_workload(name, scale=0.5, **spec_kw):
+    sim = build_simulation(RunSpec(workload=name, scale=scale, **spec_kw))
+    sim.run()
+    # The workload instance hangs off the generators; rebuild to inspect:
+    # instead, reach it through a fresh build sharing the same seed.
+    return sim
+
+
+class TestRadixSorts:
+    def test_output_sorted(self):
+        sim = build_simulation(RunSpec(workload="radix", scale=0.4))
+        # Grab the workload instance out of the first program's closure:
+        # easier to reconstruct and re-run directly.
+        wl = get_workload("radix", scale=0.4)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        for t in range(wl.n_threads):
+            pass
+        sim.run()
+        # Re-derive which buffer holds the final output (even # of passes
+        # -> back in keys).
+        # Simplest: run the workload standalone, sequentially.
+        wl2 = get_workload("radix", scale=0.4)
+        space2 = AddressSpace(page_size=2048)
+        wl2.allocate(space2)
+        # Execute threads round-robin at barrier granularity.
+        _run_barrier_phased(wl2)
+        final = wl2.keys.data if wl2.passes % 2 == 0 else wl2.out.data
+        assert np.all(np.diff(final) >= 0), "keys sorted ascending"
+        assert sorted(final.tolist()) == sorted(wl2.init_keys.tolist())
+
+
+def _run_barrier_phased(wl):
+    """Execute a barrier-phased workload without the simulator: advance
+    every thread to its next barrier, round-robin, until all finish.
+    Valid for workloads whose only cross-thread ordering is barriers."""
+    gens = [wl.thread(t) for t in range(wl.n_threads)]
+    live = set(range(wl.n_threads))
+    guard = 0
+    while live:
+        guard += 1
+        assert guard < 10_000, "phased execution did not terminate"
+        for t in sorted(live):
+            g = gens[t]
+            try:
+                while True:
+                    ev = next(g)
+                    if ev[0] == "b":
+                        break
+            except StopIteration:
+                live.discard(t)
+
+
+class TestFftValues:
+    def test_six_step_matches_direct_fft(self):
+        wl = get_workload("fft", scale=0.25)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        reference_input = wl.init_vals.copy()
+        _run_barrier_phased(wl)
+        n = wl.n
+        # The transform chain (two batched FFT passes + twiddles +
+        # transposes) is unitary up to the 1/sqrt(n) normalization, so
+        # Parseval's theorem pins the output energy exactly.
+        got = wl.b.data
+        assert np.isfinite(got).all()
+        in_energy = np.sum(np.abs(reference_input) ** 2)
+        out_energy = np.sum(np.abs(got) ** 2) / n
+        assert out_energy == pytest.approx(in_energy, rel=1e-6), (
+            "Parseval: the transform chain preserves energy"
+        )
+
+
+class TestLuValues:
+    @pytest.mark.parametrize("name", ["lu_contig", "lu_noncontig"])
+    def test_factorization_reconstructs_matrix(self, name):
+        wl = get_workload(name, scale=0.3)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        n = wl.n
+        original = np.array(
+            [[wl._get(i, j) for j in range(n)] for i in range(n)]
+        )
+        _run_barrier_phased(wl)
+        factored = np.array(
+            [[wl._get(i, j) for j in range(n)] for i in range(n)]
+        )
+        L = np.tril(factored, -1) + np.eye(n)
+        U = np.triu(factored)
+        residual = np.linalg.norm(L @ U - original) / np.linalg.norm(original)
+        assert residual < 1e-8, f"LU residual too large: {residual}"
+
+
+class TestOceanValues:
+    def test_sor_reduces_residual(self):
+        wl = get_workload("ocean_contig", scale=0.4)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        g = wl.g
+
+        def residual(arr):
+            grid = np.array(
+                [[arr.data[wl.idx(i, j)] for j in range(g)] for i in range(g)]
+            )
+            lap = (
+                grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+            ) / 4 - grid[1:-1, 1:-1]
+            return float(np.abs(lap).mean())
+
+        before = residual(wl.psi)
+        _run_barrier_phased(wl)
+        after = residual(wl.psi)
+        assert after < before, "SOR sweeps smooth the field"
+
+
+class TestRaytraceValues:
+    def test_image_hits_scene(self):
+        wl = get_workload("raytrace", scale=0.4)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        _run_barrier_phased(wl)
+        img = wl.image.data
+        hits = np.count_nonzero(img >= 0)
+        assert hits > 0, "some rays must hit spheres"
+        assert np.count_nonzero(img == -1) > 0, "and some must miss"
+
+
+class TestVolrendValues:
+    def test_image_nonzero_and_bounded(self):
+        wl = get_workload("volrend", scale=0.5)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        _run_barrier_phased(wl)
+        img = wl.image.data
+        assert np.isfinite(img).all()
+        assert img.max() > 0, "volume renders to a non-black image"
+
+
+class TestBarnesValues:
+    def test_tree_mass_conservation(self):
+        wl = get_workload("barnes", scale=0.4)
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        _run_barrier_phased(wl)
+        assert wl.root is not None
+        assert wl.root.mass == pytest.approx(wl.n_bodies), (
+            "every body accounted for in the octree"
+        )
+
+    def test_positions_in_unit_box(self):
+        wl = get_workload("barnes", scale=0.4)
+        assert ((wl.rng("bodies").random(3) >= 0)).all()  # rng sanity
+        from repro.mem.address import AddressSpace
+
+        space = AddressSpace(page_size=2048)
+        wl.allocate(space)
+        assert (wl.pos >= 0).all() and (wl.pos <= 1).all()
