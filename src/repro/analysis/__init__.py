@@ -1,0 +1,46 @@
+"""Static analysis and formal verification of the simulator.
+
+This package is the repo's correctness gate (``coma-sim verify`` /
+``coma-sim lint``, both run in CI):
+
+* :mod:`repro.analysis.model` — the E/O/S/I table lifted to a
+  machine-wide transition system for small configurations;
+* :mod:`repro.analysis.invariants` — the rule catalogue: static table
+  rules (T…), machine-wide state invariants (I…), cross-check rules (C…);
+* :mod:`repro.analysis.modelcheck` — exhaustive reachability check with
+  minimal counterexample traces;
+* :mod:`repro.analysis.crosscheck` — drives the executable
+  :class:`~repro.coma.machine.ComaMachine` against the table;
+* :mod:`repro.analysis.lint` — the determinism/hygiene AST linter
+  (DET/MUT/FLT/EXC rules) over ``src/repro``;
+* :mod:`repro.analysis.report` — shared finding vocabulary.
+
+See ``docs/VERIFICATION.md`` for the full catalogue and suppression
+syntax.
+"""
+
+from repro.analysis.crosscheck import crosscheck
+from repro.analysis.invariants import ALL_RULES, check_line_state, check_table
+from repro.analysis.lint import RULES as LINT_RULES
+from repro.analysis.lint import lint_file, lint_source, lint_tree
+from repro.analysis.model import ProtocolModel, Step
+from repro.analysis.modelcheck import check_protocol, format_report
+from repro.analysis.report import AnalysisReport, Finding, format_findings
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "Finding",
+    "LINT_RULES",
+    "ProtocolModel",
+    "Step",
+    "check_line_state",
+    "check_protocol",
+    "check_table",
+    "crosscheck",
+    "format_findings",
+    "format_report",
+    "lint_file",
+    "lint_source",
+    "lint_tree",
+]

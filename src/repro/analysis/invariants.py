@@ -1,0 +1,231 @@
+"""Invariant and rule catalogue for protocol verification.
+
+Two families, each with stable IDs used by tests, CI and suppression:
+
+* **T-rules** (``T001``–``T007``) are *static* checks over the
+  declarative table itself — principles any bus-based COMA invalidation
+  protocol must satisfy row-by-row (a hit issues no bus transaction, a
+  store must end Exclusive, an owner only leaves by relocation, …).
+* **I-rules** (``I001``–``I004``) are *machine-wide state* invariants the
+  model checker evaluates on every reachable global state: they are the
+  load-bearing "exactly one owner, sharers never outlive it" property
+  from :mod:`repro.coma.states` that every figure in the paper rests on.
+
+The executable cross-check (:mod:`repro.analysis.crosscheck`) reports
+**C-rules** (``C001``/``C002``) when the simulator's behaviour diverges
+from the table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.report import Finding
+from repro.coma.protocol import EVENTS, STATES, Transition
+from repro.coma.states import EXCLUSIVE, INVALID, OWNER, SHARED, state_name
+
+TABLE_RULES = {
+    "T001": "table must be total: every (state, event) pair exactly once",
+    "T002": "a load must leave a readable copy; a hit changes nothing and "
+            "is silent; a read miss issues a bus read",
+    "T003": "a store must end Exclusive: silent from E, upgrade from S/O, "
+            "read-exclusive from I",
+    "T004": "remote events never touch uninvolved nodes, are snoop-side "
+            "(no bus action); a remote read preserves the copy (E degrades "
+            "to O), a remote write erases it",
+    "T005": "eviction removes the copy: nothing to evict from I, Shared "
+            "drops silently, an owner leaves only by relocation (replace)",
+    "T006": "only I and S accept an inject; the receiver takes ownership — "
+            "Exclusive when it now holds the only copy, Owner when sharers "
+            "survive (the sharer-dependent next state must be explicit)",
+    "T007": "a disallowed transition issues no bus transaction",
+}
+
+STATE_RULES = {
+    "I001": "exactly one owner (E or O) per materialized line",
+    "I002": "a Shared copy never outlives the owner",
+    "I003": "an Exclusive copy is the only copy in the machine",
+    "I004": "no lost last copy: an owner eviction must have a willing "
+            "receiver (relocation can never drop the datum)",
+}
+
+CROSSCHECK_RULES = {
+    "C001": "executable machine state diverges from the table under a "
+            "read/write sequence",
+    "C002": "executable relocation (evict/inject) diverges from the table",
+}
+
+ALL_RULES = {**TABLE_RULES, **STATE_RULES, **CROSSCHECK_RULES}
+
+
+def _row_finding(rule: str, t: Transition, why: str) -> Finding:
+    loc = f"({state_name(t.state)}, {t.event})"
+    return Finding(
+        rule=rule,
+        message=f"row {loc}: {why}",
+        path="protocol-table",
+        detail=f"offending row: {t!r}\nrule: {ALL_RULES[rule]}",
+    )
+
+
+# ----------------------------------------------------------------------
+# static table rules
+# ----------------------------------------------------------------------
+
+def check_table(transitions: Iterable[Transition]) -> list[Finding]:
+    """Run every T-rule over a transition table; returns all findings."""
+    rows = list(transitions)
+    findings: list[Finding] = []
+
+    # T001 — totality.
+    seen: dict[tuple[int, str], Transition] = {}
+    for t in rows:
+        key = (t.state, t.event)
+        if key in seen:
+            findings.append(_row_finding("T001", t, "duplicate row"))
+        seen[key] = t
+    for s in STATES:
+        for e in EVENTS:
+            if (s, e) not in seen:
+                findings.append(
+                    Finding(
+                        rule="T001",
+                        message=f"missing row ({state_name(s)}, {e})",
+                        path="protocol-table",
+                    )
+                )
+    if any(f.rule == "T001" for f in findings):
+        return findings  # row-wise rules assume a total table
+
+    def row(s: int, e: str) -> Transition:
+        return seen[(s, e)]
+
+    # T002 — local_read.
+    t = row(INVALID, "local_read")
+    if t.next_state not in (SHARED, OWNER, EXCLUSIVE):
+        findings.append(_row_finding("T002", t, "a load must leave a readable copy"))
+    if t.bus_action != "read":
+        findings.append(_row_finding("T002", t, "a read miss must issue a bus read"))
+    for s in (SHARED, OWNER, EXCLUSIVE):
+        t = row(s, "local_read")
+        if t.next_state != s:
+            findings.append(_row_finding("T002", t, "a local hit never changes the state"))
+        if t.bus_action:
+            findings.append(_row_finding("T002", t, "a local hit is silent on the bus"))
+
+    # T003 — local_write.
+    expected_bus = {INVALID: "read_excl", SHARED: "upgrade",
+                    OWNER: "upgrade", EXCLUSIVE: ""}
+    for s in STATES:
+        t = row(s, "local_write")
+        if t.next_state != EXCLUSIVE:
+            findings.append(_row_finding(
+                "T003", t, "after a store every other copy is erased, so the "
+                "writer must end Exclusive"))
+        if t.bus_action != expected_bus[s]:
+            findings.append(_row_finding(
+                "T003", t, f"store from {state_name(s)} must use bus action "
+                f"{expected_bus[s] or 'none (silent)'!r}"))
+
+    # T004 — remote events.
+    for e in ("remote_read", "remote_write"):
+        t = row(INVALID, e)
+        if t.next_state is not None:
+            findings.append(_row_finding(
+                "T004", t, "a node without a copy is not involved in remote events"))
+        for s in (SHARED, OWNER, EXCLUSIVE):
+            t = row(s, e)
+            if t.bus_action:
+                findings.append(_row_finding(
+                    "T004", t, "snooping a remote event issues no bus action"))
+            if e == "remote_read":
+                want = OWNER if s == EXCLUSIVE else s
+                if t.next_state != want:
+                    findings.append(_row_finding(
+                        "T004", t, "a remote read preserves the copy "
+                        "(Exclusive degrades to Owner: a replica now exists)"))
+            else:
+                if t.next_state != INVALID:
+                    findings.append(_row_finding(
+                        "T004", t, "a remote write erases every other copy"))
+
+    # T005 — evict.
+    t = row(INVALID, "evict")
+    if t.next_state is not None:
+        findings.append(_row_finding("T005", t, "nothing to evict from Invalid"))
+    t = row(SHARED, "evict")
+    if t.next_state != INVALID or t.bus_action:
+        findings.append(_row_finding(
+            "T005", t, "a Shared copy is dropped silently (an owner exists "
+            "elsewhere)"))
+    for s in (OWNER, EXCLUSIVE):
+        t = row(s, "evict")
+        if t.next_state != INVALID or t.bus_action != "replace":
+            findings.append(_row_finding(
+                "T005", t, "an owner may only leave by relocation: next state "
+                "Invalid with a replace transaction"))
+
+    # T006 — inject.
+    for s in (OWNER, EXCLUSIVE):
+        t = row(s, "inject")
+        if t.next_state is not None:
+            findings.append(_row_finding(
+                "T006", t, "an owner cannot hold a second copy"))
+    for s in (INVALID, SHARED):
+        t = row(s, "inject")
+        if t.next_state != EXCLUSIVE or t.next_state_sharers != OWNER:
+            findings.append(_row_finding(
+                "T006", t, "an accepted inject takes ownership: Exclusive "
+                "when no sharer survives, Owner otherwise "
+                "(next_state=E, next_state_sharers=O)"))
+        if t.bus_action != "replace":
+            findings.append(_row_finding(
+                "T006", t, "accepting a relocation is part of the replace "
+                "transaction"))
+    for t in rows:
+        if t.event != "inject" and t.next_state_sharers is not None:
+            findings.append(_row_finding(
+                "T006", t, "only inject rows are sharer-dependent"))
+
+    # T007 — disabled rows are silent.
+    for t in rows:
+        if t.next_state is None and t.bus_action:
+            findings.append(_row_finding(
+                "T007", t, "a disallowed transition issues no bus transaction"))
+
+    return findings
+
+
+# ----------------------------------------------------------------------
+# machine-wide state invariants
+# ----------------------------------------------------------------------
+
+def check_line_state(states: tuple[int, ...]) -> Optional[tuple[str, str]]:
+    """Evaluate I001–I003 on one line's per-node states.
+
+    Returns ``(rule_id, message)`` for the first violated invariant, or
+    None.  (I004 is transition-based and checked by the model checker.)
+    """
+    owners = [n for n, s in enumerate(states) if s in (OWNER, EXCLUSIVE)]
+    sharers = [n for n, s in enumerate(states) if s == SHARED]
+    if len(owners) > 1:
+        return "I001", (
+            f"{len(owners)} owner copies (nodes {owners}) — the datum has "
+            "forked; every materialized line must have exactly one owner"
+        )
+    if not owners:
+        if sharers:
+            return "I002", (
+                f"Shared copies at nodes {sharers} with no owner anywhere — "
+                "the authoritative copy was lost while replicas survive"
+            )
+        return "I001", (
+            "no copy of the line anywhere — the machine lost its only copy "
+            "(COMA has no backing memory to refetch from)"
+        )
+    if states[owners[0]] == EXCLUSIVE and sharers:
+        return "I003", (
+            f"node {owners[0]} is Exclusive while nodes {sharers} hold "
+            "Shared copies — E must mean the only copy in the machine"
+        )
+    return None

@@ -104,6 +104,57 @@ def _cmd_protocol(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.crosscheck import crosscheck
+    from repro.analysis.modelcheck import check_protocol, format_report
+
+    report = check_protocol(n_nodes=args.nodes, n_lines=args.lines)
+    print(format_report(report))  # findings (with traces) included when broken
+    ok = report.ok
+    if not args.no_crosscheck:
+        xc = crosscheck(nodes=min(args.nodes, 3), depth=args.depth)
+        status = "OK" if xc.ok else "DIVERGED"
+        print(
+            f"machine crosscheck {status}: "
+            f"{xc.stats.get('sequences', 0)} op sequences, "
+            f"{xc.stats.get('scenarios', 0)} relocation scenarios"
+        )
+        if not xc.ok:
+            from repro.analysis.report import format_findings
+
+            print(format_findings(xc.findings), file=sys.stderr)
+        ok = ok and xc.ok
+    return 0 if ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import default_root, lint_file, lint_tree
+    from repro.analysis.report import AnalysisReport, format_findings
+
+    report = AnalysisReport()
+    for target in args.paths or [default_root()]:
+        target = Path(target)
+        if target.is_dir():
+            report.extend(lint_tree(target))
+        elif target.is_file():
+            report.findings.extend(lint_file(target))
+            report.stats["files"] = report.stats.get("files", 0) + 1
+        else:
+            print(f"coma-sim lint: no such file or directory: {target}",
+                  file=sys.stderr)
+            return 2
+    if args.rules:
+        wanted = set(args.rules)
+        report.findings = [f for f in report.findings if f.rule in wanted]
+    if report.findings:
+        print(format_findings(report.findings))
+    n = report.stats.get("files", 0)
+    print(f"{len(report.findings)} finding(s) in {n} file(s)")
+    return 1 if report.findings else 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.experiments.runner import RunSpec, build_simulation
     from repro.stats.profiler import SharingProfiler, format_profile
@@ -200,6 +251,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     pr = sub.add_parser("protocol", help="print the E/O/S/I transition table")
     pr.set_defaults(func=_cmd_protocol)
+
+    vf = sub.add_parser(
+        "verify",
+        help="model-check the coherence protocol and cross-check the machine",
+    )
+    vf.add_argument("--nodes", type=int, default=3, choices=[2, 3, 4])
+    vf.add_argument("--lines", type=int, default=1, choices=[1, 2])
+    vf.add_argument("--depth", type=int, default=3,
+                    help="crosscheck op-sequence depth")
+    vf.add_argument("--no-crosscheck", action="store_true",
+                    help="skip driving the executable machine")
+    vf.set_defaults(func=_cmd_verify)
+
+    ln = sub.add_parser(
+        "lint", help="run the simulator-hygiene linter (see docs/VERIFICATION.md)"
+    )
+    ln.add_argument("paths", nargs="*",
+                    help="files or package roots (default: the repro package)")
+    ln.add_argument("--rules", nargs="*", metavar="ID",
+                    help="only report these rule IDs")
+    ln.set_defaults(func=_cmd_lint)
 
     pf = sub.add_parser("profile", help="sharing/replication profile of a run")
     pf.add_argument("workload", choices=workload_names())

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.bus.sharedbus import SharedBus
 from repro.bus.transaction import TxKind
+from repro.coma import protocol
 from repro.caches.l1 import L1Cache
 from repro.caches.slc import SecondLevelCache
 from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC, LineTable
@@ -309,17 +310,19 @@ class ComaMachine:
     # ------------------------------------------------------------------
 
     def _owner_to_shared_state(self, owner: ComaNode, line: int, info) -> None:
-        """After supplying a read copy, the owner's E degrades to O."""
+        """After supplying a read copy, the owner snoops ``remote_read``
+        and degrades per the protocol table (E -> O; O stays O)."""
+        degraded = protocol.next_state(EXCLUSIVE, "remote_read")
         oentry = owner.am.lookup(line)
         if oentry is not None:
             if oentry.state == EXCLUSIVE:
-                oentry.state = OWNER
+                oentry.state = degraded
         elif line in owner.overflow:
             if owner.overflow[line] == EXCLUSIVE:
-                owner.overflow[line] = OWNER
+                owner.overflow[line] = degraded
         elif line in owner.slc_resident:
             if owner.slc_resident[line][1] == EXCLUSIVE:
-                owner.slc_resident[line][1] = OWNER
+                owner.slc_resident[line][1] = degraded
         else:
             raise ProtocolError(
                 f"owner node {owner.id} does not hold line {line:#x}"

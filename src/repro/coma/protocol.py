@@ -23,9 +23,10 @@ inject         an evicted owner line is accepted into this node
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.coma.states import EXCLUSIVE, INVALID, OWNER, SHARED, state_name
+from repro.common.errors import ProtocolError
 
 EVENTS = (
     "local_read",
@@ -36,16 +37,34 @@ EVENTS = (
     "inject",
 )
 
+STATES = (INVALID, SHARED, OWNER, EXCLUSIVE)
+
 
 @dataclass(frozen=True)
 class Transition:
-    """One row of the protocol table."""
+    """One row of the protocol table.
+
+    ``next_state`` is the resulting state when, after the event, no *other*
+    node holds a Shared copy of the line; ``next_state_sharers`` (when not
+    None) is the resulting state when sharers remain.  Only the ``inject``
+    rows are sharer-dependent: a node accepting a relocated owner ends up
+    Exclusive when it receives the only copy in the machine and Owner when
+    replicas survive elsewhere.  Use :meth:`resolved` / :func:`resolved_next`
+    to pick the right one.
+    """
 
     state: int
     event: str
     next_state: Optional[int]  # None = transition not allowed / no copy
     bus_action: str            # "", "read", "read_excl", "upgrade", "replace"
     notes: str = ""
+    next_state_sharers: Optional[int] = None
+
+    def resolved(self, sharers_exist: bool) -> Optional[int]:
+        """Next state given whether other sharers hold the line."""
+        if sharers_exist and self.next_state_sharers is not None:
+            return self.next_state_sharers
+        return self.next_state
 
 
 #: The complete table.  ``INVALID + local_*`` covers the miss paths.
@@ -59,7 +78,8 @@ TRANSITIONS: tuple[Transition, ...] = (
     Transition(INVALID, "remote_write", None, "", "not involved"),
     Transition(INVALID, "evict", None, "", "nothing to evict"),
     Transition(INVALID, "inject", EXCLUSIVE, "replace",
-               "accepts a relocated owner (O if sharers exist)"),
+               "accepts a relocated owner",
+               next_state_sharers=OWNER),
     # Shared
     Transition(SHARED, "local_read", SHARED, "", "hit"),
     Transition(SHARED, "local_write", EXCLUSIVE, "upgrade",
@@ -68,8 +88,9 @@ TRANSITIONS: tuple[Transition, ...] = (
     Transition(SHARED, "remote_write", INVALID, "", "erased"),
     Transition(SHARED, "evict", INVALID, "",
                "dropped silently: an owner exists elsewhere"),
-    Transition(SHARED, "inject", OWNER, "replace",
-               "sharer takeover: ownership moves here without data"),
+    Transition(SHARED, "inject", EXCLUSIVE, "replace",
+               "sharer takeover: ownership moves here without data",
+               next_state_sharers=OWNER),
     # Owner (shared copies may exist elsewhere)
     Transition(OWNER, "local_read", OWNER, "", "hit"),
     Transition(OWNER, "local_write", EXCLUSIVE, "upgrade",
@@ -105,14 +126,53 @@ def next_state(state: int, event: str) -> Optional[int]:
     return transition(state, event).next_state
 
 
+def resolved_next(state: int, event: str, sharers_exist: bool) -> Optional[int]:
+    """Next state for ``(state, event)`` given the machine-wide sharer set.
+
+    ``sharers_exist`` must be True when, after the event completes, at
+    least one *other* node still holds a Shared copy of the line.
+    """
+    return transition(state, event).resolved(sharers_exist)
+
+
 def is_complete() -> bool:
     """Every (state, event) pair must be specified."""
-    states = (INVALID, SHARED, OWNER, EXCLUSIVE)
-    return all((s, e) in _TABLE for s in states for e in EVENTS)
+    return all((s, e) in _TABLE for s in STATES for e in EVENTS)
+
+
+def validate_table(transitions: Iterable[Transition] = TRANSITIONS) -> None:
+    """Check the table is *total*: every (state, event) pair present exactly
+    once, no row for an unknown state or event.  Raises
+    :class:`~repro.common.errors.ProtocolError` on the first defect.
+
+    Runs at import time so a malformed table can never drive a simulation.
+    """
+    seen: dict[tuple[int, str], Transition] = {}
+    for t in transitions:
+        if t.state not in STATES:
+            raise ProtocolError(f"transition row with unknown state {t.state!r}")
+        if t.event not in EVENTS:
+            raise ProtocolError(f"transition row with unknown event {t.event!r}")
+        key = (t.state, t.event)
+        if key in seen:
+            raise ProtocolError(
+                f"duplicate transition row ({state_name(t.state)}, {t.event})"
+            )
+        seen[key] = t
+    for s in STATES:
+        for e in EVENTS:
+            if (s, e) not in seen:
+                raise ProtocolError(
+                    f"protocol table not total: missing ({state_name(s)}, {e})"
+                )
 
 
 def format_table() -> str:
-    """Render the protocol table for documentation."""
+    """Render the protocol table for documentation.
+
+    A sharer-dependent next state renders as ``alone/shr`` — e.g. ``E/O``
+    means Exclusive when no other sharer survives, Owner otherwise.
+    """
     lines = [
         "E/O/S/I protocol transition table (one node's copy of a line)",
         f"{'state':>6s} {'event':13s} {'next':>5s} {'bus':10s} notes",
@@ -120,8 +180,13 @@ def format_table() -> str:
     ]
     for t in TRANSITIONS:
         nxt = state_name(t.next_state) if t.next_state is not None else "-"
+        if t.next_state_sharers is not None and t.next_state_sharers != t.next_state:
+            nxt = f"{nxt}/{state_name(t.next_state_sharers)}"
         lines.append(
             f"{state_name(t.state):>6s} {t.event:13s} {nxt:>5s} "
             f"{t.bus_action or '-':10s} {t.notes}"
         )
     return "\n".join(lines)
+
+
+validate_table()

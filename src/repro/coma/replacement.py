@@ -37,9 +37,10 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.common.rng import derive_seed
 
+from repro.coma import protocol
 from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC
 from repro.coma.node import REMOVED_EVICTED, ComaNode
-from repro.coma.states import EXCLUSIVE, OWNER, SHARED, is_owning
+from repro.coma.states import INVALID, SHARED, is_owning
 from repro.mem.setassoc import Entry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -134,13 +135,16 @@ class ReplacementEngine:
             m.counters.replace_to_slc += 1
             return True
 
-        # 1. A sharer node can take over ownership without a data transfer.
+        # 1. A sharer node can take over ownership without a data transfer:
+        # S + inject resolves to E when the taker held the last replica.
         if info.sharers:
             dst_id = min(info.sharers)
             dst = m.nodes[dst_id]
             s_entry = dst.am.lookup(line)
             info.sharers.discard(dst_id)
-            new_state = EXCLUSIVE if not info.sharers else OWNER
+            new_state = protocol.resolved_next(
+                SHARED, "inject", sharers_exist=bool(info.sharers)
+            )
             if s_entry is not None:
                 assert s_entry.state == SHARED
                 s_entry.state = new_state
@@ -210,11 +214,20 @@ class ReplacementEngine:
     def _transfer(
         self, src: ComaNode, entry: Entry, dst: ComaNode, way: Entry, now: int
     ) -> None:
-        """Move the owner line in ``entry`` into ``way`` of ``dst``."""
+        """Move the owner line in ``entry`` into ``way`` of ``dst``.
+
+        The receiver applies I + inject from the table: the replacement
+        probe is snooped machine-wide, so the receiver learns whether any
+        Shared replica survives and installs E when it now holds the only
+        copy (even if the evicted copy had degraded to O after its last
+        sharer silently dropped).
+        """
         m = self.m
         line = entry.line
-        state = entry.state
         info = m.lines.get(line)
+        state = protocol.resolved_next(
+            INVALID, "inject", sharers_exist=bool(info.sharers)
+        )
         # Charge the replacement transaction: probe + data transfer into
         # the receiving node (controller + DRAM occupancy).
         m.charge_replacement(src, dst, now, data=True)

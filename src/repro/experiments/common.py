@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from fractions import Fraction
 
 #: Memory pressures of the sweep (paper section 3.1), label -> value.
 MP_SWEEP: list[tuple[str, float]] = [

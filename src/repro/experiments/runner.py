@@ -27,7 +27,7 @@ from repro.sync.primitives import SyncSpace
 from repro.workloads.registry import get_workload
 
 #: Bump when simulator semantics change, invalidating old cached results.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
 
 _memory_cache: dict[str, SimulationResult] = {}
 

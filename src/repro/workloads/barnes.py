@@ -13,7 +13,6 @@ real body positions, so the walk's access stream is genuinely irregular.
 
 from __future__ import annotations
 
-import math
 from typing import Iterator, Optional
 
 import numpy as np

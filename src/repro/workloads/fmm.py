@@ -18,7 +18,6 @@ in the paper's Figure-4 group.
 
 from __future__ import annotations
 
-import math
 from typing import Iterator
 
 import numpy as np

@@ -20,8 +20,6 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
-import numpy as np
-
 from repro.mem.address import AddressSpace
 from repro.workloads.base import SharedArray, Workload
 from repro.workloads.registry import register

@@ -72,6 +72,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "transition table" in out and "read_excl" in out
 
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol OK" in out
+        assert "machine crosscheck OK" in out
+
+    def test_verify_no_crosscheck(self, capsys):
+        assert main(["verify", "--nodes", "2", "--no-crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol OK" in out
+        assert "crosscheck" not in out
+
+    def test_verify_parser_bounds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--nodes", "9"])
+
+    def test_lint_clean_tree(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_bad_file(self, tmp_path, capsys):
+        (tmp_path / "coma").mkdir()
+        bad = tmp_path / "coma" / "mod.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "mod.py:2" in out
+
+    def test_lint_rule_filter(self, tmp_path, capsys):
+        (tmp_path / "coma").mkdir()
+        bad = tmp_path / "coma" / "mod.py"
+        bad.write_text("import time\nt = time.time()\ndef f(x=[]):\n    pass\n")
+        assert main(["lint", str(tmp_path), "--rules", "MUT001"]) == 1
+        out = capsys.readouterr().out
+        assert "MUT001" in out and "DET001" not in out
+
     def test_profile_smoke(self, capsys):
         rc = main(
             ["profile", "synth_private", "--scale", "0.25", "--every", "1000"]

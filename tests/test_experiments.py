@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import runner as runner_mod
 from repro.experiments.ablations import (
     format_replication_thresholds,
     run_bus_ablation,

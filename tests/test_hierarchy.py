@@ -10,7 +10,6 @@ from repro.coma.hierarchy import HierarchicalComaMachine
 from repro.common.config import MachineConfig
 from repro.common.errors import ConfigError
 from repro.mem.address import AddressSpace
-from tests.conftest import make_machine
 
 LINE = 64
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.coma.states import EXCLUSIVE, OWNER, SHARED
 from tests.conftest import make_machine
 

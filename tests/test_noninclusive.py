@@ -4,8 +4,8 @@ hierarchy as studied in [9, 2]")."""
 
 from __future__ import annotations
 
-from repro.coma.linetable import LOC_AM, LOC_SLC
-from repro.coma.states import EXCLUSIVE, OWNER, SHARED
+from repro.coma.linetable import LOC_SLC
+from repro.coma.states import OWNER, SHARED
 from tests.conftest import make_machine
 
 LINE = 64

@@ -6,7 +6,6 @@ import pytest
 
 from repro.coma import protocol
 from repro.coma.states import EXCLUSIVE, INVALID, OWNER, SHARED
-from tests.conftest import make_machine
 
 LINE = 64
 
@@ -39,6 +38,65 @@ class TestTable:
                     assert t.event == "remote_write", (
                         "owners vanish only via relocation or erasure"
                     )
+
+
+class TestSharerDependence:
+    """The inject rows resolve on whether Shared replicas survive."""
+
+    def test_inject_rows_carry_both_outcomes(self):
+        for state in (INVALID, SHARED):
+            t = protocol.transition(state, "inject")
+            assert t.next_state == EXCLUSIVE
+            assert t.next_state_sharers == OWNER
+
+    def test_resolved_picks_by_sharers(self):
+        t = protocol.transition(INVALID, "inject")
+        assert t.resolved(sharers_exist=False) == EXCLUSIVE
+        assert t.resolved(sharers_exist=True) == OWNER
+
+    def test_resolved_next_helper(self):
+        assert protocol.resolved_next(SHARED, "inject", True) == OWNER
+        assert protocol.resolved_next(SHARED, "inject", False) == EXCLUSIVE
+        # Rows without a sharer-dependent outcome ignore the flag.
+        assert protocol.resolved_next(INVALID, "local_read", True) == SHARED
+
+    def test_format_renders_split_cell(self):
+        text = protocol.format_table()
+        assert "E/O" in text
+
+
+class TestValidateTable:
+    def test_shipped_table_validates(self):
+        protocol.validate_table()  # raises on failure
+
+    def test_missing_row_raises(self):
+        partial = [
+            t for t in protocol.TRANSITIONS
+            if (t.state, t.event) != (OWNER, "evict")
+        ]
+        with pytest.raises(protocol.ProtocolError, match="missing"):
+            protocol.validate_table(partial)
+
+    def test_duplicate_row_raises(self):
+        doubled = list(protocol.TRANSITIONS) + [protocol.TRANSITIONS[0]]
+        with pytest.raises(protocol.ProtocolError, match="duplicate"):
+            protocol.validate_table(doubled)
+
+    def test_unknown_state_raises(self):
+        import dataclasses
+
+        bad = [dataclasses.replace(protocol.TRANSITIONS[0], state=9)]
+        bad += list(protocol.TRANSITIONS[1:])
+        with pytest.raises(protocol.ProtocolError, match="unknown state"):
+            protocol.validate_table(bad)
+
+    def test_unknown_event_raises(self):
+        import dataclasses
+
+        bad = [dataclasses.replace(protocol.TRANSITIONS[0], event="flush")]
+        bad += list(protocol.TRANSITIONS[1:])
+        with pytest.raises(protocol.ProtocolError, match="unknown event"):
+            protocol.validate_table(bad)
 
 
 class TestMachineMatchesTable:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.coma.linetable import LOC_AM, LOC_OVERFLOW
-from repro.coma.states import EXCLUSIVE, OWNER, SHARED
+from repro.coma.states import EXCLUSIVE, SHARED
 from tests.conftest import make_machine
 
 LINE = 64

@@ -6,7 +6,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.mem.address import AddressSpace
 from repro.sim.simulator import Simulation
 from repro.sync.primitives import SyncSpace
 from tests.conftest import make_machine

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments.runner import RunSpec, build_simulation
 from repro.mem.address import AddressSpace
@@ -13,7 +12,6 @@ from repro.trace.capture import OP_CHARS, OP_CODES, capture_trace
 from repro.trace.replay import replay_programs
 from repro.trace.store import load_trace, save_trace
 from repro.workloads.registry import get_workload
-from tests.conftest import make_machine
 
 
 def captured(name="synth_private", scale=0.25):
