@@ -7,12 +7,16 @@ first time is cheap.  Control knobs:
 * ``REPRO_BENCH_SCALE``   — problem-size multiplier (default 1.0);
 * ``REPRO_NO_DISK_CACHE`` — set to disable the disk cache.
 
-Every figure/table bench writes its rendered output to ``results/``.
+Every figure/table bench writes its rendered output to ``results/``, with
+a provenance header identifying the code version that produced it.  A
+cache hit/miss summary is printed once at the end of a bench session.
 """
 
 from __future__ import annotations
 
 import os
+import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -32,5 +36,20 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _cache_summary():
+    """Print one cache hit/miss line after the bench session."""
+    yield
+    from repro.experiments.runner import format_cache_summary
+
+    print(f"\n{format_cache_summary()}", file=sys.stderr)
+
+
 def write_result(results_dir: Path, name: str, text: str) -> None:
-    (results_dir / name).write_text(text + "\n")
+    from repro.obs.manifest import provenance_header
+
+    ts = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    header = provenance_header(
+        timestamp=ts, extra={"scale": BENCH_SCALE, "artifact": name}
+    )
+    (results_dir / name).write_text(header + text + "\n")

@@ -45,7 +45,9 @@ RULES = {
 }
 
 #: Subsystems whose results feed simulated time / coherence decisions.
-RESTRICTED_SUBSYSTEMS = frozenset({"sim", "coma", "bus", "timing"})
+#: ``obs`` is included because trace files must be deterministic: sinks
+#: take timestamps as parameters, never from the wall clock.
+RESTRICTED_SUBSYSTEMS = frozenset({"sim", "coma", "bus", "timing", "obs"})
 
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns",

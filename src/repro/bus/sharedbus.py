@@ -16,12 +16,18 @@ from repro.timing.resource import Resource
 class SharedBus:
     """Split-transaction snooping bus shared by all nodes."""
 
-    def __init__(self, timing: TimingConfig, line_size: int) -> None:
+    def __init__(
+        self, timing: TimingConfig, line_size: int, name: str = "bus"
+    ) -> None:
         self.timing = timing
         self.line_size = line_size
-        self.resource = Resource("bus")
+        self.name = name
+        self.resource = Resource(name)
         self.tx_count: dict[TxClass, int] = {c: 0 for c in TxClass}
         self.tx_bytes: dict[TxClass, int] = {c: 0 for c in TxClass}
+        #: Optional :class:`repro.obs.sink.TraceSink`; None keeps
+        #: :meth:`record` allocation-free (a single ``if`` per call).
+        self.trace = None
 
     def phase(self, now: int, bg: bool = False) -> int:
         """Occupy the bus for one phase starting at or after ``now``.
@@ -34,11 +40,21 @@ class SharedBus:
         start = self.resource.acquire(now, self.timing.bus_busy_ns, bg)
         return start + self.timing.bus_phase_ns
 
-    def record(self, kind: TxKind) -> None:
-        """Meter one logical transaction of ``kind``."""
+    def record(
+        self, kind: TxKind, now: int = 0, origin: int = -1, line: int = -1
+    ) -> None:
+        """Meter one logical transaction of ``kind``.
+
+        ``now``/``origin``/``line`` annotate the trace event when a sink
+        is attached; metering itself needs none of them.
+        """
         cls = kind.tx_class
+        nbytes = message_bytes(kind, self.line_size)
         self.tx_count[cls] += 1
-        self.tx_bytes[cls] += message_bytes(kind, self.line_size)
+        self.tx_bytes[cls] += nbytes
+        if self.trace is not None:
+            self.trace.bus(now, self.name, kind.name, cls.value,
+                           nbytes, origin, line)
 
     @property
     def total_bytes(self) -> int:

@@ -8,6 +8,8 @@ Examples::
     coma-sim table 1
     coma-sim list
     coma-sim thresholds
+    coma-sim trace synth_migratory --scale 0.1 --chrome trace.json
+    coma-sim explain synth_migratory --scale 0.1 --line 0x80
 """
 
 from __future__ import annotations
@@ -38,6 +40,74 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_spec(args: argparse.Namespace) -> RunSpec:
+    return RunSpec(
+        workload=args.workload,
+        machine=args.machine,
+        procs_per_node=args.procs_per_node,
+        memory_pressure=args.memory_pressure,
+        scale=args.scale,
+        seed=args.seed,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import build_simulation
+    from repro.obs import ChromeTraceSink, FlightRecorder, JsonlTraceSink, TeeSink
+
+    sinks = []
+    jsonl_path = args.jsonl
+    if jsonl_path is None and args.chrome is None:
+        jsonl_path = f"{args.workload}.trace.jsonl"
+    js = JsonlTraceSink(jsonl_path) if jsonl_path else None
+    if js is not None:
+        sinks.append(js)
+    ct = ChromeTraceSink(args.chrome) if args.chrome else None
+    if ct is not None:
+        sinks.append(ct)
+    flight = FlightRecorder(capacity=args.flight, dump_path=args.flight_dump)
+    sinks.append(flight)
+
+    sim = build_simulation(_trace_spec(args))
+    sim.machine.set_trace(TeeSink(*sinks))
+    try:
+        result = sim.run()
+    except Exception as exc:
+        dump = getattr(exc, "flight_dump", None)
+        if dump:
+            print(dump, file=sys.stderr)
+        raise
+    finally:
+        for s in sinks:
+            s.close()
+    print(f"simulated {result.elapsed_ns} ns, {flight.total} trace events")
+    if js is not None:
+        print(f"jsonl: {jsonl_path} ({js.count} events)")
+    if ct is not None:
+        print(f"chrome trace: {args.chrome} ({ct.count} events) "
+              "— open in https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import build_simulation
+    from repro.obs import LineBiography
+
+    bio = LineBiography()
+    sim = build_simulation(_trace_spec(args))
+    sim.machine.set_trace(bio)
+    sim.run()
+    if args.line is None:
+        print("busiest lines:")
+        for ln in bio.lines()[: args.top]:
+            print(f"  {ln:#x}: {len(bio.history(ln))} event(s)")
+        print("re-run with --line <LINE> for one line's full biography")
+        return 0
+    line = int(args.line, 0)
+    print(bio.narrate(line))
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.number == 2:
         from repro.experiments.figure2 import format_figure2, run_figure2
@@ -64,7 +134,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     else:
         print(f"no figure {args.number} in the paper", file=sys.stderr)
         return 2
+    _print_cache_summary()
     return 0
+
+
+def _print_cache_summary() -> None:
+    from repro.experiments.runner import format_cache_summary
+
+    print(format_cache_summary(), file=sys.stderr)
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -74,6 +151,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import format_table1, run_table1
 
     print(format_table1(run_table1(scale=args.scale)))
+    _print_cache_summary()
     return 0
 
 
@@ -207,8 +285,42 @@ def _cmd_export(args: argparse.Namespace) -> int:
         out = ex.table1_csv(run_table1(scale=args.scale))
     else:  # pragma: no cover - argparse restricts choices
         return 2
+    if args.provenance:
+        out = _with_provenance(out, args.format)
     print(out, end="")
+    _print_cache_summary()
     return 0
+
+
+def _with_provenance(out: str, fmt: str) -> str:
+    """Stamp an export with the code version that produced it.
+
+    CSV gets a ``# provenance:`` comment line; JSON gets a top-level
+    ``_provenance`` object (a comment would break parsers).
+    """
+    import json
+    from datetime import datetime, timezone
+
+    from repro.obs.manifest import git_revision, provenance_header
+
+    ts = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    if fmt == "json":
+        from repro import __version__
+        from repro.experiments.runner import CACHE_VERSION
+
+        obj = json.loads(out)
+        prov = {
+            "repro": __version__,
+            "cache_version": CACHE_VERSION,
+            "git_rev": git_revision() or "unknown",
+            "timestamp": ts,
+        }
+        if isinstance(obj, list):
+            obj = {"_provenance": prov, "data": obj}
+        else:
+            obj["_provenance"] = prov
+        return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+    return provenance_header(timestamp=ts) + out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,7 +400,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--format", choices=["csv", "json"], default="csv")
     exp.add_argument("--scale", type=float, default=1.0)
+    exp.add_argument("--provenance", action="store_true",
+                     help="stamp the export with code version / git revision")
     exp.set_defaults(func=_cmd_export)
+
+    def _traced(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("workload", choices=workload_names())
+        sp.add_argument("--machine", choices=["coma", "hcoma"], default="coma")
+        sp.add_argument("--procs-per-node", type=int, default=1,
+                        choices=[1, 2, 4, 8, 16])
+        sp.add_argument("--memory-pressure", type=float, default=0.5)
+        sp.add_argument("--scale", type=float, default=1.0)
+        sp.add_argument("--seed", type=int, default=1997)
+
+    tr = sub.add_parser(
+        "trace", help="run one simulation with event tracing enabled"
+    )
+    _traced(tr)
+    tr.add_argument("--jsonl", metavar="PATH",
+                    help="write a JSONL event trace (default: "
+                    "<workload>.trace.jsonl when --chrome is not given)")
+    tr.add_argument("--chrome", metavar="PATH",
+                    help="write a Chrome trace-event file for Perfetto")
+    tr.add_argument("--flight", type=int, default=4096, metavar="N",
+                    help="flight-recorder capacity (last N events)")
+    tr.add_argument("--flight-dump", metavar="PATH",
+                    help="where to dump the flight recorder if the run dies")
+    tr.set_defaults(func=_cmd_trace)
+
+    ex = sub.add_parser(
+        "explain", help="narrate one cache line's protocol history"
+    )
+    _traced(ex)
+    ex.add_argument("--line", metavar="LINE",
+                    help="line number to narrate (0x-prefixed hex or decimal);"
+                    " omitted: list the busiest lines")
+    ex.add_argument("--top", type=int, default=10,
+                    help="how many busy lines to list without --line")
+    ex.set_defaults(func=_cmd_explain)
     return p
 
 

@@ -51,8 +51,14 @@ class HierarchicalComaMachine(ComaMachine):
         #: self.bus (from the base class) is the top bus; these are the
         #: per-group buses.
         self.group_buses = [
-            SharedBus(config.timing, config.line_size) for _ in range(n_groups)
+            SharedBus(config.timing, config.line_size, name=f"gbus{g}")
+            for g in range(n_groups)
         ]
+
+    def set_trace(self, sink) -> None:
+        super().set_trace(sink)
+        for gb in self.group_buses:
+            gb.trace = sink
 
     # ------------------------------------------------------------------
     def group_of(self, node_id: int) -> int:
@@ -73,13 +79,17 @@ class HierarchicalComaMachine(ComaMachine):
     # interconnect overrides
     # ------------------------------------------------------------------
 
-    def _record_remote(self, kind: TxKind, local: ComaNode, owner: ComaNode) -> None:
+    def _record_remote(
+        self, kind: TxKind, local: ComaNode, owner: ComaNode, line: int = -1
+    ) -> None:
         gb = self.group_buses[self.group_of(local.id)]
-        gb.record(kind)
+        gb.record(kind, self.now, local.id, line)
         if not self.same_group(local, owner):
             # The request also crosses the top bus and the owner's group bus.
-            self.bus.record(kind)
-            self.group_buses[self.group_of(owner.id)].record(kind)
+            self.bus.record(kind, self.now, local.id, line)
+            self.group_buses[self.group_of(owner.id)].record(
+                kind, self.now, local.id, line
+            )
 
     def _remote_path(self, local: ComaNode, owner: ComaNode, now: int) -> int:
         tm = self.timing
@@ -113,7 +123,7 @@ class HierarchicalComaMachine(ComaMachine):
         directories know whether anything outside the group has a copy)."""
         info = self.lines.maybe(line)
         lg = self.group_buses[self.group_of(node.id)]
-        lg.record(TxKind.UPGRADE)
+        lg.record(TxKind.UPGRADE, t, node.id, line)
         t = lg.phase(t, self._bg)
         holder_groups: set[int] = set()
         if info is not None:
@@ -125,21 +135,21 @@ class HierarchicalComaMachine(ComaMachine):
         if holder_groups:
             # The directories know which groups hold copies: the erase
             # crosses the top bus and descends only into those groups.
-            self.bus.record(TxKind.UPGRADE)
+            self.bus.record(TxKind.UPGRADE, t, node.id, line)
             t = self.bus.phase(t, self._bg)
             for g in holder_groups:
-                self.group_buses[g].record(TxKind.UPGRADE)
+                self.group_buses[g].record(TxKind.UPGRADE, t, node.id, line)
         return t
 
-    def charge_replacement(self, src, dst, now, data: bool) -> None:
+    def charge_replacement(self, src, dst, now, data: bool, line: int = -1) -> None:
         lg = self.group_buses[self.group_of(src.id)]
-        lg.record(TxKind.REPLACE_PROBE)
+        lg.record(TxKind.REPLACE_PROBE, now, src.id, line)
         t = lg.phase(now, self._bg)
         if not data:
             return
         assert dst is not None
         if self.same_group(src, dst):
-            lg.record(TxKind.REPLACE_DATA)
+            lg.record(TxKind.REPLACE_DATA, t, src.id, line)
             t = lg.phase(t, self._bg)
         else:
             dg = self.group_buses[self.group_of(dst.id)]
@@ -148,7 +158,7 @@ class HierarchicalComaMachine(ComaMachine):
                 (self.bus, TxKind.REPLACE_DATA),
                 (dg, TxKind.REPLACE_DATA),
             ):
-                b.record(kind)
+                b.record(kind, t, src.id, line)
             t = self.bus.phase(t, self._bg)
             t = dg.phase(t, self._bg)
         s = dst.nc.acquire(t, self.timing.nc_busy_ns, self._bg)

@@ -32,7 +32,14 @@ from repro.coma.node import (
     ComaNode,
 )
 from repro.coma.replacement import ReplacementEngine
-from repro.coma.states import EXCLUSIVE, INVALID, OWNER, SHARED, is_owning
+from repro.coma.states import (
+    EXCLUSIVE,
+    INVALID,
+    OWNER,
+    SHARED,
+    is_owning,
+    state_name,
+)
 from repro.common.config import MachineConfig
 from repro.common.errors import ProtocolError
 from repro.mem.address import AddressSpace
@@ -86,6 +93,15 @@ class ComaMachine:
         #: resource occupancy it causes goes to the background ports so
         #: demand accesses are never queued behind it (read bypass).
         self._bg = False
+        #: Optional :class:`repro.obs.sink.TraceSink`.  None (the default)
+        #: keeps every emission site a single ``if`` with no allocations;
+        #: attach one with :meth:`set_trace`.
+        self.trace = None
+
+    def set_trace(self, sink) -> None:
+        """Attach a trace sink to the machine and its interconnect."""
+        self.trace = sink
+        self.bus.trace = sink
 
     # ------------------------------------------------------------------
     # processor-facing operations
@@ -105,14 +121,20 @@ class ComaMachine:
 
         if self.l1s[proc].lookup(line):
             c.l1_read_hits += 1
-            return now + self.timing.l1_hit_ns, LEVEL_L1
+            done = now + self.timing.l1_hit_ns
+            if self.trace is not None:
+                self.trace.access(now, proc, "r", line, LEVEL_L1, done - now)
+            return done, LEVEL_L1
 
         slc = self.slcs[proc]
         start = self.slc_res[proc].acquire(now, self.timing.slc_occupancy_ns, self._bg)
         if slc.lookup(line) is not None:
             c.slc_read_hits += 1
             self.l1s[proc].fill(line)
-            return start + self.timing.slc_hit_ns, LEVEL_SLC
+            done = start + self.timing.slc_hit_ns
+            if self.trace is not None:
+                self.trace.access(now, proc, "r", line, LEVEL_SLC, done - now)
+            return done, LEVEL_SLC
 
         # Node level: the attraction memory (or the overflow buffer).
         entry = node.am.lookup(line)
@@ -123,12 +145,16 @@ class ComaMachine:
                 node.shadow.access(line)
             c.am_read_hits += 1
             self._fill_hierarchy(proc, node, line, entry)
+            if self.trace is not None:
+                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now)
             return done, LEVEL_AM
         if line in node.overflow:
             done = self._am_access(node, now)
             if node.shadow is not None:
                 node.shadow.access(line)
             c.overflow_read_hits += 1
+            if self.trace is not None:
+                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now)
             return done, LEVEL_AM
         if not self.config.inclusive:
             sr = node.slc_resident.get(line)
@@ -140,6 +166,8 @@ class ComaMachine:
                     node.shadow.access(line)
                 c.slc_neighbor_hits += 1
                 self._fill_slc_resident(proc, node, line, sr)
+                if self.trace is not None:
+                    self.trace.access(now, proc, "r", line, LEVEL_AM, done - now)
                 return done, LEVEL_AM
 
         # Read node miss.
@@ -149,7 +177,7 @@ class ComaMachine:
             node.shadow.access(line)
         info = self.lines.get(line)
         owner = self.nodes[info.owner_node]
-        self._record_remote(TxKind.READ_DATA, node, owner)
+        self._record_remote(TxKind.READ_DATA, node, owner, line)
         t = self._remote_path(node, owner, now)
 
         # Supplier side: E degrades to O (a shared copy now exists).
@@ -158,13 +186,20 @@ class ComaMachine:
         way = self.repl.make_room(node, line, t, mandatory=False)
         if way is None:
             # Uncached read: data delivered, no local copy retained.
-            return t + self.timing.remote_overhead_ns, LEVEL_REMOTE
+            done = t + self.timing.remote_overhead_ns
+            if self.trace is not None:
+                self.trace.access(now, proc, "r", line, LEVEL_REMOTE, done - now)
+            return done, LEVEL_REMOTE
         node.am.fill(way, line, SHARED)
         node.note_present(line)
         info.sharers.add(node.id)
+        if self.trace is not None:
+            self.trace.transition(t, node.id, line, "fill", "I", "S")
         s = node.dram.acquire(t, self.timing.dram_busy_ns, self._bg)
         done = s + self.timing.dram_latency_ns + self.timing.remote_overhead_ns
         self._fill_hierarchy(proc, node, line, way)
+        if self.trace is not None:
+            self.trace.access(now, proc, "r", line, LEVEL_REMOTE, done - now)
         return done, LEVEL_REMOTE
 
     def write(self, proc: int, addr: int, now: int) -> int:
@@ -177,9 +212,12 @@ class ComaMachine:
         self.counters.writes += 1
         self._bg = True
         try:
-            done, _level = self._write_access(proc, addr, now)
+            done, level = self._write_access(proc, addr, now)
         finally:
             self._bg = False
+        if self.trace is not None:
+            self.trace.access(now, proc, "w", addr >> self._shift, level,
+                              done - now)
         return done
 
     def rmw(self, proc: int, addr: int, now: int) -> tuple[int, str]:
@@ -189,12 +227,20 @@ class ComaMachine:
         ``(completion_time, level)`` for stall accounting.
         """
         self.counters.atomics += 1
-        return self._write_access(proc, addr, now)
+        done, level = self._write_access(proc, addr, now)
+        if self.trace is not None:
+            self.trace.access(now, proc, "rmw", addr >> self._shift, level,
+                              done - now)
+        return done, level
 
     def write_stalling(self, proc: int, addr: int, now: int) -> tuple[int, str]:
         """A write the processor waits for (sequential-consistency mode)."""
         self.counters.writes += 1
-        return self._write_access(proc, addr, now)
+        done, level = self._write_access(proc, addr, now)
+        if self.trace is not None:
+            self.trace.access(now, proc, "w", addr >> self._shift, level,
+                              done - now)
+        return done, level
 
     # ------------------------------------------------------------------
     # write machinery
@@ -238,6 +284,9 @@ class ComaMachine:
             s = node.nc.acquire(now, self.timing.nc_busy_ns, self._bg)
             t = self._upgrade_broadcast(node, line, s + self.timing.nc_ns)
             self._invalidate_others(line, node)
+            if self.trace is not None:
+                self.trace.transition(t, node.id, line, "upgrade",
+                                      state_name(local_state), "E")
             if entry is not None:
                 entry.state = EXCLUSIVE
                 node.am.touch(entry)
@@ -257,11 +306,13 @@ class ComaMachine:
         c.node_write_misses += 1
         c.read_exclusive += 1
         owner = self.nodes[info.owner_node]
-        self._record_remote(TxKind.READ_EXCL, node, owner)
+        self._record_remote(TxKind.READ_EXCL, node, owner, line)
         t = self._remote_path(node, owner, now)
         self._invalidate_others(line, node)
         way = self.repl.make_room(node, line, t, mandatory=True)
         assert way is not None, "mandatory make_room returned None"
+        if self.trace is not None:
+            self.trace.transition(t, node.id, line, "read_exclusive", "I", "E")
         node.am.fill(way, line, EXCLUSIVE)
         node.note_present(line)
         info.owner_node = node.id
@@ -313,20 +364,27 @@ class ComaMachine:
         """After supplying a read copy, the owner snoops ``remote_read``
         and degrades per the protocol table (E -> O; O stays O)."""
         degraded = protocol.next_state(EXCLUSIVE, "remote_read")
+        changed = False
         oentry = owner.am.lookup(line)
         if oentry is not None:
             if oentry.state == EXCLUSIVE:
                 oentry.state = degraded
+                changed = True
         elif line in owner.overflow:
             if owner.overflow[line] == EXCLUSIVE:
                 owner.overflow[line] = degraded
+                changed = True
         elif line in owner.slc_resident:
             if owner.slc_resident[line][1] == EXCLUSIVE:
                 owner.slc_resident[line][1] = degraded
+                changed = True
         else:
             raise ProtocolError(
                 f"owner node {owner.id} does not hold line {line:#x}"
             )
+        if changed and self.trace is not None:
+            self.trace.transition(self.now, owner.id, line, "remote_read",
+                                  "E", state_name(degraded))
 
     def _invalidate_others(self, line: int, writer: ComaNode) -> None:
         """Erase every copy of ``line`` outside ``writer`` (upgrade or
@@ -349,25 +407,33 @@ class ComaMachine:
                 if n.shadow is not None:
                     n.shadow.remove(line)
             c.invalidations_sent += 1
+            if self.trace is not None:
+                self.trace.transition(self.now, sid, line, "invalidate",
+                                      "S", "I")
         if info.owner_node != writer.id:
             onode = self.nodes[info.owner_node]
             if info.owner_loc == LOC_AM:
                 entry = onode.am.lookup(line)
                 if entry is None:
                     raise ProtocolError(f"owner {onode.id} lost line {line:#x}")
+                prev = entry.state
                 self.strip_node_copy(onode, entry, REMOVED_INVALIDATED)
             elif info.owner_loc == LOC_OVERFLOW:
-                del onode.overflow[line]
+                prev = onode.overflow.pop(line)
                 onode.note_removed(line, REMOVED_INVALIDATED)
                 if onode.shadow is not None:
                     onode.shadow.remove(line)
             else:  # LOC_SLC
                 sr = onode.slc_resident.pop(line)
+                prev = sr[1]
                 self._invalidate_mask(onode, line, sr[0])
                 onode.note_removed(line, REMOVED_INVALIDATED)
                 if onode.shadow is not None:
                     onode.shadow.remove(line)
             c.invalidations_sent += 1
+            if self.trace is not None:
+                self.trace.transition(self.now, onode.id, line, "invalidate",
+                                      state_name(prev), "I")
 
     def drop_shared_copy(self, node: ComaNode, entry: Entry) -> None:
         """Silently drop a Shared replica (safe: an owner exists elsewhere).
@@ -385,6 +451,8 @@ class ComaMachine:
         info = self.lines.get(line)
         info.sharers.discard(node.id)
         self.counters.shared_drops += 1
+        if self.trace is not None:
+            self.trace.transition(self.now, node.id, line, "drop", "S", "I")
         self.strip_node_copy(node, entry, REMOVED_EVICTED)
 
     def strip_node_copy(self, node: ComaNode, entry: Entry, reason: str) -> None:
@@ -512,6 +580,9 @@ class ComaMachine:
             assert way is not None
             node.am.fill(way, line, EXCLUSIVE)
             node.note_present(line)
+            if self.trace is not None:
+                self.trace.transition(now, node.id, line, "materialize",
+                                      "I", "E")
 
     def _am_access(self, node: ComaNode, t0: int) -> int:
         """Charge one attraction-memory access: controller in, DRAM read,
@@ -526,25 +597,32 @@ class ComaMachine:
 
     # -- interconnect hooks (overridden by the hierarchical machine) -----
 
-    def _record_remote(self, kind: TxKind, local: ComaNode, owner: ComaNode) -> None:
+    def _record_remote(
+        self, kind: TxKind, local: ComaNode, owner: ComaNode, line: int = -1
+    ) -> None:
         """Meter one remote data transaction on the interconnect."""
-        self.bus.record(kind)
+        self.bus.record(kind, self.now, local.id, line)
 
     def _upgrade_broadcast(self, node: ComaNode, line: int, t: int) -> int:
         """Broadcast an upgrade/erase; returns its completion time."""
-        self.bus.record(TxKind.UPGRADE)
+        self.bus.record(TxKind.UPGRADE, t, node.id, line)
         return self.bus.phase(t, self._bg)
 
     def charge_replacement(
-        self, src: ComaNode, dst: Optional[ComaNode], now: int, data: bool
+        self,
+        src: ComaNode,
+        dst: Optional[ComaNode],
+        now: int,
+        data: bool,
+        line: int = -1,
     ) -> None:
         """Meter and time a replacement transaction (probe, and the data
         transfer into ``dst`` when ``data``)."""
-        self.bus.record(TxKind.REPLACE_PROBE)
+        self.bus.record(TxKind.REPLACE_PROBE, now, src.id, line)
         t = self.bus.phase(now, self._bg)
         if data:
             assert dst is not None
-            self.bus.record(TxKind.REPLACE_DATA)
+            self.bus.record(TxKind.REPLACE_DATA, t, src.id, line)
             t = self.bus.phase(t, self._bg)
             s = dst.nc.acquire(t, self.timing.nc_busy_ns, self._bg)
             dst.dram.acquire(s + self.timing.nc_ns, self.timing.dram_busy_ns, self._bg)

@@ -40,7 +40,7 @@ from repro.common.rng import derive_seed
 from repro.coma import protocol
 from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC
 from repro.coma.node import REMOVED_EVICTED, ComaNode
-from repro.coma.states import INVALID, SHARED, is_owning
+from repro.coma.states import INVALID, SHARED, is_owning, state_name
 from repro.mem.setassoc import Entry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -99,6 +99,8 @@ class ReplacementEngine:
             return victim
         if not mandatory:
             self.m.counters.uncached_reads += 1
+            if self.m.trace is not None:
+                self.m.trace.replacement(now, node.id, -1, line, "uncached", 0)
             return None
         # Mandatory and nowhere to go: park the victim in overflow.
         self._park_in_overflow(node, victim)
@@ -133,6 +135,8 @@ class ReplacementEngine:
             entry.aux = 0
             src.am.invalidate(entry)
             m.counters.replace_to_slc += 1
+            if m.trace is not None:
+                m.trace.replacement(now, src.id, src.id, line, "to_slc", hops)
             return True
 
         # 1. A sharer node can take over ownership without a data transfer:
@@ -156,8 +160,12 @@ class ReplacementEngine:
                 sr[1] = new_state
                 info.owner_loc = LOC_SLC
             info.owner_node = dst_id
-            m.charge_replacement(src, None, now, data=False)
+            m.charge_replacement(src, None, now, data=False, line=line)
             m.counters.replace_to_sharer += 1
+            if m.trace is not None:
+                m.trace.replacement(now, src.id, dst_id, line, "to_sharer", hops)
+                m.trace.transition(now, dst_id, line, "inject", "S",
+                                   state_name(new_state))
             m.strip_node_copy(src, entry, REMOVED_EVICTED)
             return True
 
@@ -172,13 +180,14 @@ class ReplacementEngine:
             for dst in shuffled:
                 way = dst.am.free_way(set_idx)
                 if way is not None:
-                    self._transfer(src, entry, dst, way, now)
+                    self._transfer(src, entry, dst, way, now, "to_invalid", hops)
                     m.counters.replace_to_invalid += 1
                     return True
                 for way in dst.am.ways(set_idx):
                     if way.state == SHARED:
                         m.drop_shared_copy(dst, way)
-                        self._transfer(src, entry, dst, way, now)
+                        self._transfer(src, entry, dst, way, now,
+                                       "to_shared", hops)
                         m.counters.replace_to_shared += 1
                         return True
         else:
@@ -186,7 +195,7 @@ class ReplacementEngine:
             for dst in order:
                 way = dst.am.free_way(set_idx)
                 if way is not None:
-                    self._transfer(src, entry, dst, way, now)
+                    self._transfer(src, entry, dst, way, now, "to_invalid", hops)
                     m.counters.replace_to_invalid += 1
                     return True
 
@@ -195,7 +204,8 @@ class ReplacementEngine:
                 for way in dst.am.ways(set_idx):
                     if way.state == SHARED:
                         m.drop_shared_copy(dst, way)
-                        self._transfer(src, entry, dst, way, now)
+                        self._transfer(src, entry, dst, way, now,
+                                       "to_shared", hops)
                         m.counters.replace_to_shared += 1
                         return True
 
@@ -206,13 +216,20 @@ class ReplacementEngine:
             if dst is not None and way is not None:
                 m.counters.replace_forced_hops += 1
                 if self.relocate_owner(dst, way, now, mandatory=True, hops=hops + 1):
-                    self._transfer(src, entry, dst, way, now)
+                    self._transfer(src, entry, dst, way, now, "cascade", hops + 1)
                     return True
         return False
 
     # ------------------------------------------------------------------
     def _transfer(
-        self, src: ComaNode, entry: Entry, dst: ComaNode, way: Entry, now: int
+        self,
+        src: ComaNode,
+        entry: Entry,
+        dst: ComaNode,
+        way: Entry,
+        now: int,
+        outcome: str = "to_invalid",
+        hops: int = 0,
     ) -> None:
         """Move the owner line in ``entry`` into ``way`` of ``dst``.
 
@@ -230,7 +247,11 @@ class ReplacementEngine:
         )
         # Charge the replacement transaction: probe + data transfer into
         # the receiving node (controller + DRAM occupancy).
-        m.charge_replacement(src, dst, now, data=True)
+        m.charge_replacement(src, dst, now, data=True, line=line)
+        if m.trace is not None:
+            m.trace.replacement(now, src.id, dst.id, line, outcome, hops)
+            m.trace.transition(now, dst.id, line, "inject", "I",
+                               state_name(state))
         m.strip_node_copy(src, entry, REMOVED_EVICTED)
         dst.am.fill(way, line, state)
         dst.note_present(line)
@@ -244,6 +265,8 @@ class ReplacementEngine:
         node.overflow[line] = entry.state
         info.owner_loc = LOC_OVERFLOW
         m.counters.overflow_parks += 1
+        if m.trace is not None:
+            m.trace.replacement(m.now, node.id, -1, line, "overflow_park", 0)
         # The line is still present in the node (overflow), so strip only
         # the AM way, not the node-level tracking.
         m.backinvalidate_slcs(node, entry)

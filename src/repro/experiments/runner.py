@@ -6,6 +6,13 @@ results are cached — in memory for the process, and as JSON files under
 ``.repro_cache/`` so the benchmark harness can regenerate figures without
 re-simulating unchanged points.  Set ``REPRO_CACHE_DIR`` to relocate the
 disk cache or ``REPRO_NO_DISK_CACHE=1`` to disable it.
+
+Every simulated (cache-miss) result also gets a ``<key>.manifest.json``
+sidecar recording its provenance — spec, cache version, git revision,
+wall time — so a figure regenerated months later can say exactly which
+code produced each point (see :mod:`repro.obs.manifest`).  Cache
+hits/misses are tallied in :func:`cache_stats` and summarized by
+:func:`format_cache_summary` after figure/table sweeps.
 """
 
 from __future__ import annotations
@@ -13,10 +20,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, dataclass, replace
+from datetime import datetime, timezone
 from fractions import Fraction
 from pathlib import Path
 from typing import Optional
+
+from repro.obs.manifest import RunManifest, git_revision, manifest_path
 
 from repro.coma.machine import ComaMachine
 from repro.common.config import MachineConfig, TimingConfig
@@ -30,6 +41,29 @@ from repro.workloads.registry import get_workload
 CACHE_VERSION = 6
 
 _memory_cache: dict[str, SimulationResult] = {}
+
+#: Process-wide tally of how run_spec() satisfied each request.
+_cache_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+
+def cache_stats() -> dict[str, int]:
+    """A copy of the process-wide cache hit/miss tally."""
+    return dict(_cache_stats)
+
+
+def reset_cache_stats() -> None:
+    for k in _cache_stats:
+        _cache_stats[k] = 0
+
+
+def format_cache_summary() -> str:
+    """One-line human summary, printed after figure/table sweeps."""
+    s = _cache_stats
+    total = s["memory_hits"] + s["disk_hits"] + s["misses"]
+    return (
+        f"cache: {total} runs — {s['memory_hits']} memory hits, "
+        f"{s['disk_hits']} disk hits, {s['misses']} simulated"
+    )
 
 
 @dataclass(frozen=True)
@@ -149,10 +183,53 @@ def clear_memory_cache() -> None:
     _memory_cache.clear()
 
 
+def _write_manifest(
+    cache_dir: Path, key: str, spec: RunSpec, cache: str,
+    wall_time_s: Optional[float],
+) -> None:
+    """Write the provenance sidecar next to the cached result.
+
+    Best-effort: a manifest failure must never fail the run itself.
+    """
+    from repro import __version__
+
+    manifest = RunManifest(
+        key=key,
+        spec=asdict(spec),
+        cache_version=CACHE_VERSION,
+        repro_version=__version__,
+        seed=spec.seed,
+        git_rev=git_revision(),
+        wall_time_s=wall_time_s,
+        cache=cache,
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    try:
+        manifest.write(manifest_path(cache_dir, key))
+    except OSError:
+        pass
+
+
+def load_manifest(spec_or_key) -> Optional[RunManifest]:
+    """The manifest sidecar for a spec (or raw key), if one exists."""
+    key = spec_or_key.key() if isinstance(spec_or_key, RunSpec) else spec_or_key
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
+    path = manifest_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        return RunManifest.load(path)
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+
+
 def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     """Run ``spec``, consulting the memory and disk caches."""
     key = spec.key()
     if use_cache and key in _memory_cache:
+        _cache_stats["memory_hits"] += 1
         return _memory_cache[key]
     cache_dir = _cache_dir() if use_cache else None
     if cache_dir is not None:
@@ -161,13 +238,21 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
             try:
                 result = SimulationResult.from_dict(json.loads(f.read_text()))
                 _memory_cache[key] = result
+                _cache_stats["disk_hits"] += 1
+                if not manifest_path(cache_dir, key).exists():
+                    # Entry predates manifests: backfill without wall time.
+                    _write_manifest(cache_dir, key, spec, "hit", None)
                 return result
             except (ValueError, TypeError, KeyError):
                 f.unlink(missing_ok=True)  # stale/corrupt cache entry
+    _cache_stats["misses"] += 1
+    t0 = time.perf_counter()
     sim = build_simulation(spec)
     result = sim.run()
+    wall = time.perf_counter() - t0
     if use_cache:
         _memory_cache[key] = result
         if cache_dir is not None:
             (cache_dir / f"{key}.json").write_text(json.dumps(result.to_dict()))
+            _write_manifest(cache_dir, key, spec, "miss", wall)
     return result

@@ -1,0 +1,59 @@
+"""repro.obs — structured event tracing, flight recorder and provenance.
+
+The simulator's end-of-run aggregates (:class:`repro.stats.counters.Counters`,
+:class:`repro.sim.results.SimulationResult`) say *how much* happened; this
+package records *what* happened, event by event, so every figure is
+explainable:
+
+* :mod:`repro.obs.events`      — the typed event taxonomy;
+* :mod:`repro.obs.sink`        — the :class:`TraceSink` receiver interface
+  (machines emit through it; a ``None`` sink costs one ``if`` per access);
+* :mod:`repro.obs.flight`      — bounded ring-buffer flight recorder,
+  dumped automatically when a simulation dies;
+* :mod:`repro.obs.jsonl`       — deterministic JSON-lines writer/reader;
+* :mod:`repro.obs.chrometrace` — Chrome trace-event exporter (open the
+  file in Perfetto: one track per processor, node and bus);
+* :mod:`repro.obs.biography`   — per-line history index behind
+  ``coma-sim explain --line``;
+* :mod:`repro.obs.manifest`    — run-manifest sidecars tying every cached
+  result to the RunSpec, seed, code version and git revision it came from.
+
+This package is part of the deterministic core (see the DET lint rules):
+it never reads the wall clock — timestamps are simulated nanoseconds, and
+provenance timestamps are passed in by the (unrestricted) callers.
+"""
+
+from repro.obs.biography import LineBiography
+from repro.obs.chrometrace import ChromeTraceSink
+from repro.obs.events import (
+    BusTx,
+    MemAccess,
+    Replacement,
+    SyncStall,
+    Transition,
+    format_event,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.jsonl import JsonlTraceSink, read_trace
+from repro.obs.manifest import RunManifest, git_revision, provenance_header
+from repro.obs.sink import CollectorSink, TeeSink, TraceSink
+
+__all__ = [
+    "BusTx",
+    "ChromeTraceSink",
+    "CollectorSink",
+    "FlightRecorder",
+    "JsonlTraceSink",
+    "LineBiography",
+    "MemAccess",
+    "Replacement",
+    "RunManifest",
+    "SyncStall",
+    "TeeSink",
+    "TraceSink",
+    "Transition",
+    "format_event",
+    "git_revision",
+    "provenance_header",
+    "read_trace",
+]

@@ -1,0 +1,180 @@
+"""The trace-event taxonomy.
+
+Five event types cover everything the paper's mechanisms do:
+
+==============  ========================================================
+event           meaning
+==============  ========================================================
+``access``      one processor memory operation and its outcome: which
+                level satisfied it (l1/slc/am/remote) and its latency
+``transition``  one protocol state change of one line in one node, with
+                the before/after E/O/S/I state and its cause
+``bus``         one metered interconnect transaction: kind, traffic
+                class, wire bytes, originating node, line (when known)
+``replacement`` one step of the accept-based replacement machinery:
+                where an evicted owner went (sharer takeover, invalid
+                way, shared way, forced cascade hop, overflow park) or
+                that an optional allocation was abandoned (uncached)
+``sync``        one lock/barrier wait: who stalled, on what, how long
+==============  ========================================================
+
+Events are plain frozen dataclasses holding only ints and strings, so a
+trace serializes deterministically (same RunSpec + seed ⇒ byte-identical
+JSONL).  All times are simulated integer nanoseconds — the wall clock is
+never consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: ``kind`` tags, also the ``ev`` field of serialized records.
+EV_ACCESS = "access"
+EV_TRANSITION = "transition"
+EV_BUS = "bus"
+EV_REPLACEMENT = "replacement"
+EV_SYNC = "sync"
+
+
+@dataclass(frozen=True, slots=True)
+class MemAccess:
+    """One processor operation (read / write / rmw) and its outcome."""
+
+    t: int        # issue time, simulated ns
+    proc: int
+    op: str       # "r" | "w" | "rmw"
+    line: int
+    level: str    # "l1" | "slc" | "am" | "remote"
+    latency_ns: int
+
+    kind = EV_ACCESS
+
+    def to_record(self) -> dict:
+        return {"ev": EV_ACCESS, "t": self.t, "proc": self.proc,
+                "op": self.op, "line": self.line, "level": self.level,
+                "lat": self.latency_ns}
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One E/O/S/I state change of ``line`` in ``node``."""
+
+    t: int
+    node: int
+    line: int
+    cause: str    # "materialize" | "fill" | "remote_read" | "upgrade" |
+                  # "read_exclusive" | "invalidate" | "drop" | "inject"
+    before: str   # "E" | "O" | "S" | "I"
+    after: str
+
+    kind = EV_TRANSITION
+
+    def to_record(self) -> dict:
+        return {"ev": EV_TRANSITION, "t": self.t, "node": self.node,
+                "line": self.line, "cause": self.cause,
+                "before": self.before, "after": self.after}
+
+
+@dataclass(frozen=True, slots=True)
+class BusTx:
+    """One metered transaction on one bus (top or group)."""
+
+    t: int
+    bus: str      # resource name: "bus", "gbus0", ...
+    tx: str       # TxKind name: "READ_DATA", "UPGRADE", ...
+    cls: str      # traffic class: "read" | "write" | "replace"
+    nbytes: int
+    origin: int   # originating node id, -1 when unknown
+    line: int     # line involved, -1 when the transaction carries none
+
+    kind = EV_BUS
+
+    def to_record(self) -> dict:
+        return {"ev": EV_BUS, "t": self.t, "bus": self.bus, "tx": self.tx,
+                "cls": self.cls, "bytes": self.nbytes,
+                "origin": self.origin, "line": self.line}
+
+
+@dataclass(frozen=True, slots=True)
+class Replacement:
+    """One replacement-machinery outcome for an evicted owner line."""
+
+    t: int
+    src: int      # ejecting node
+    dst: int      # receiving node, -1 when none (park / uncached)
+    line: int
+    outcome: str  # "to_slc" | "to_sharer" | "to_invalid" | "to_shared" |
+                  # "cascade" | "overflow_park" | "uncached"
+    hops: int     # forced-cascade depth (0 for first-level outcomes)
+
+    kind = EV_REPLACEMENT
+
+    def to_record(self) -> dict:
+        return {"ev": EV_REPLACEMENT, "t": self.t, "src": self.src,
+                "dst": self.dst, "line": self.line,
+                "outcome": self.outcome, "hops": self.hops}
+
+
+@dataclass(frozen=True, slots=True)
+class SyncStall:
+    """One completed lock/barrier wait."""
+
+    t: int          # wake-up time; the wait covered [t - wait_ns, t]
+    proc: int
+    primitive: str  # "lock" | "barrier"
+    obj: int        # lock/barrier id
+    wait_ns: int
+
+    kind = EV_SYNC
+
+    def to_record(self) -> dict:
+        return {"ev": EV_SYNC, "t": self.t, "proc": self.proc,
+                "primitive": self.primitive, "obj": self.obj,
+                "wait": self.wait_ns}
+
+
+# ----------------------------------------------------------------------
+def record_to_event(d: dict):
+    """Rebuild a typed event from a serialized record (see ``to_record``)."""
+    ev = d["ev"]
+    if ev == EV_ACCESS:
+        return MemAccess(d["t"], d["proc"], d["op"], d["line"],
+                         d["level"], d["lat"])
+    if ev == EV_TRANSITION:
+        return Transition(d["t"], d["node"], d["line"], d["cause"],
+                          d["before"], d["after"])
+    if ev == EV_BUS:
+        return BusTx(d["t"], d["bus"], d["tx"], d["cls"], d["bytes"],
+                     d["origin"], d["line"])
+    if ev == EV_REPLACEMENT:
+        return Replacement(d["t"], d["src"], d["dst"], d["line"],
+                           d["outcome"], d["hops"])
+    if ev == EV_SYNC:
+        return SyncStall(d["t"], d["proc"], d["primitive"], d["obj"],
+                         d["wait"])
+    raise ValueError(f"unknown event record kind {ev!r}")
+
+
+def format_event(ev) -> str:
+    """One-line human rendering, used by the flight recorder and explain."""
+    k = ev.kind
+    if k == EV_ACCESS:
+        return (f"{ev.t:>12} ns  P{ev.proc:<2} {ev.op:<3} "
+                f"line {ev.line:#x} -> {ev.level} (+{ev.latency_ns} ns)")
+    if k == EV_TRANSITION:
+        return (f"{ev.t:>12} ns  N{ev.node:<2} line {ev.line:#x} "
+                f"{ev.before}->{ev.after} ({ev.cause})")
+    if k == EV_BUS:
+        who = f"N{ev.origin}" if ev.origin >= 0 else "?"
+        what = f" line {ev.line:#x}" if ev.line >= 0 else ""
+        return (f"{ev.t:>12} ns  {ev.bus}: {ev.tx} [{ev.cls}] "
+                f"{ev.nbytes}B from {who}{what}")
+    if k == EV_REPLACEMENT:
+        dst = f"N{ev.dst}" if ev.dst >= 0 else "-"
+        hops = f" hops={ev.hops}" if ev.hops else ""
+        return (f"{ev.t:>12} ns  N{ev.src:<2} reloc line {ev.line:#x} "
+                f"{ev.outcome} -> {dst}{hops}")
+    if k == EV_SYNC:
+        return (f"{ev.t:>12} ns  P{ev.proc:<2} {ev.primitive} {ev.obj} "
+                f"waited {ev.wait_ns} ns")
+    return repr(ev)  # pragma: no cover - future event kinds

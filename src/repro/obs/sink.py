@@ -1,0 +1,103 @@
+"""The :class:`TraceSink` receiver interface.
+
+Machines and the simulation kernel hold a ``trace`` attribute that is
+``None`` by default; every emission site is guarded by a single
+
+    if self.trace is not None:
+        self.trace.access(...)
+
+so a disabled trace costs one attribute load and an ``is``-check on the
+hot path — no event objects are ever allocated.  When a sink is attached
+(:meth:`repro.coma.machine.ComaMachine.set_trace`), the five typed entry
+points below build the event dataclasses and route them through
+:meth:`TraceSink.emit`, which is the one method concrete sinks implement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import (
+    BusTx,
+    MemAccess,
+    Replacement,
+    SyncStall,
+    Transition,
+)
+
+
+class TraceSink:
+    """Base sink: typed entry points funnel into :meth:`emit`."""
+
+    # -- emission API used by the instrumented machines ----------------
+
+    def access(self, t: int, proc: int, op: str, line: int,
+               level: str, latency_ns: int) -> None:
+        self.emit(MemAccess(t, proc, op, line, level, latency_ns))
+
+    def transition(self, t: int, node: int, line: int, cause: str,
+                   before: str, after: str) -> None:
+        self.emit(Transition(t, node, line, cause, before, after))
+
+    def bus(self, t: int, bus: str, tx: str, cls: str, nbytes: int,
+            origin: int, line: int) -> None:
+        self.emit(BusTx(t, bus, tx, cls, nbytes, origin, line))
+
+    def replacement(self, t: int, src: int, dst: int, line: int,
+                    outcome: str, hops: int) -> None:
+        self.emit(Replacement(t, src, dst, line, outcome, hops))
+
+    def sync(self, t: int, proc: int, primitive: str, obj: int,
+             wait_ns: int) -> None:
+        self.emit(SyncStall(t, proc, primitive, obj, wait_ns))
+
+    # -- sink lifecycle -------------------------------------------------
+
+    def emit(self, ev) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (file-backed sinks)."""
+
+    def on_simulation_error(self, exc: BaseException) -> Optional[str]:
+        """Hook called by the simulation kernel when a run dies.
+
+        The flight recorder overrides this to dump its buffer; the return
+        value (a rendered dump, or None) is attached to the exception as
+        ``exc.flight_dump`` by the kernel.
+        """
+        return None
+
+
+class CollectorSink(TraceSink):
+    """Keep every event in a list (tests, in-process analysis)."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def emit(self, ev) -> None:
+        self.events.append(ev)
+
+    def of_kind(self, kind: str) -> list:
+        return [e for e in self.events if e.kind == kind]
+
+
+class TeeSink(TraceSink):
+    """Fan every event out to several child sinks."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, ev) -> None:
+        for s in self.sinks:
+            s.emit(ev)
+
+    def close(self) -> None:
+        for s in self.sinks:
+            s.close()
+
+    def on_simulation_error(self, exc: BaseException) -> Optional[str]:
+        dump = None
+        for s in self.sinks:
+            dump = s.on_simulation_error(exc) or dump
+        return dump

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ReproError, SimulationError
 from repro.cpu.processor import Processor
 from repro.sim.events import (
     EV_BARRIER,
@@ -68,17 +68,30 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Run every thread to completion and collect the results."""
-        heap = self._heap
-        for p in self.procs:
-            heapq.heappush(heap, (p.clock, p.pid))
-        while heap:
-            clock, pid = heapq.heappop(heap)
-            p = self.procs[pid]
-            if p.done or p.blocked or p.clock != clock:
-                continue  # stale entry
-            self._advance(p)
-        self._check_finished()
+        """Run every thread to completion and collect the results.
+
+        If the run dies (deadlock, protocol invariant violation, event
+        budget) and a trace sink is attached, the sink's
+        ``on_simulation_error`` hook fires — the flight recorder uses it
+        to dump the last events before the crash — and the rendered dump
+        (if any) is attached to the exception as ``flight_dump``.
+        """
+        try:
+            heap = self._heap
+            for p in self.procs:
+                heapq.heappush(heap, (p.clock, p.pid))
+            while heap:
+                clock, pid = heapq.heappop(heap)
+                p = self.procs[pid]
+                if p.done or p.blocked or p.clock != clock:
+                    continue  # stale entry
+                self._advance(p)
+            self._check_finished()
+        except (AssertionError, ReproError) as exc:
+            trace = getattr(self.machine, "trace", None)
+            if trace is not None:
+                exc.flight_dump = trace.on_simulation_error(exc)
+            raise
         return self._collect()
 
     def _advance(self, p: Processor) -> None:
@@ -210,6 +223,12 @@ class Simulation:
             self.machine.counters.lock_acquires += 1
             wp = self.procs[wpid]
             wp.unblock(done)
+            trace = getattr(self.machine, "trace", None)
+            if trace is not None:
+                trace.sync(
+                    wp.clock, wpid, "lock", lock.lock_id,
+                    wp.clock - wp.block_start,
+                )
             heapq.heappush(self._heap, (wp.clock, wpid))
 
     def _barrier(self, p: Processor, b: SimBarrier) -> None:
@@ -228,12 +247,18 @@ class Simulation:
         release_t = max(b.arrived.values())
         sense_done = self.machine.write(p.pid, b.addr, release_t)
         self.machine.counters.barrier_episodes += 1
+        trace = getattr(self.machine, "trace", None)
         for pid2 in b.arrived:
             if pid2 == p.pid:
                 continue
             q = self.procs[pid2]
             rdone, _lvl = self.machine.read(pid2, b.addr, sense_done)
             q.unblock(rdone)
+            if trace is not None:
+                trace.sync(
+                    q.clock, pid2, "barrier", b.barrier_id,
+                    q.clock - q.block_start,
+                )
             heapq.heappush(self._heap, (q.clock, pid2))
         if sense_done > p.clock:
             p.acct.sync += sense_done - p.clock

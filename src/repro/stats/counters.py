@@ -63,7 +63,12 @@ class Counters:
             setattr(self, f, 0)
 
     def as_dict(self) -> dict[str, int]:
-        return {f: getattr(self, f) for f in _FIELDS}
+        """Counter values keyed by name, in sorted key order.
+
+        Sorted so every serialization (JSON exports, trace manifests,
+        ``__repr__`` diffs) is stable regardless of declaration order.
+        """
+        return {f: getattr(self, f) for f in sorted(_FIELDS)}
 
     def merged(self, other: "Counters") -> "Counters":
         out = Counters()
@@ -83,5 +88,5 @@ class Counters:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        nz = {k: v for k, v in self.as_dict().items() if v}
+        nz = {k: v for k, v in self.as_dict().items() if v}  # sorted via as_dict
         return f"Counters({nz})"

@@ -83,9 +83,9 @@ class TestMachineMutationsAreCaught:
         # subsystem was built to catch: O relocates as O with no sharers).
         original = ReplacementEngine._transfer
 
-        def transfer_preserving_state(self, src, entry, dst, way, now):
+        def transfer_preserving_state(self, src, entry, dst, way, now, *args):
             line, state = entry.line, entry.state
-            original(self, src, entry, dst, way, now)
+            original(self, src, entry, dst, way, now, *args)
             dst.am.lookup(line).state = state
 
         monkeypatch.setattr(

@@ -129,3 +129,66 @@ class TestCommands:
         assert args.artifact == "figure3"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["export", "figure9"])
+
+    def test_export_csv_provenance(self, capsys):
+        rc = main(["export", "table1", "--scale", "0.5", "--provenance"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        first, second = out.splitlines()[:2]
+        assert first.startswith("# provenance: repro=")
+        assert "cache_version=" in first
+        assert second.startswith("app,")
+
+
+class TestTraceCommands:
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "fft"])
+        assert args.machine == "coma" and args.flight == 4096
+        assert args.jsonl is None and args.chrome is None
+
+    def test_trace_rejects_numa(self):
+        # Only the COMA machines are instrumented for tracing.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "fft", "--machine", "numa"])
+
+    def test_trace_writes_both_formats(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.chrometrace import validate_trace_events
+        from repro.obs.jsonl import read_trace
+
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        rc = main(["trace", "synth_private", "--scale", "0.25",
+                   "--jsonl", str(jsonl), "--chrome", str(chrome)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out and "perfetto" in out.lower()
+        assert len(read_trace(jsonl)) > 0
+        assert validate_trace_events(json.loads(chrome.read_text())) == []
+
+    def test_trace_default_jsonl_name(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["trace", "synth_private", "--scale", "0.25"])
+        assert rc == 0
+        assert (tmp_path / "synth_private.trace.jsonl").exists()
+
+    def test_explain_lists_busiest_lines(self, capsys):
+        rc = main(["explain", "synth_private", "--scale", "0.25", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "busiest lines" in out and "--line" in out
+
+    def test_explain_narrates_line(self, capsys):
+        rc = main(["explain", "synth_migratory", "--scale", "0.05",
+                   "--line", "0x80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "line 0x80" in out
+        assert "owner=" in out and "final:" in out
+
+    def test_explain_unknown_line_suggests(self, capsys):
+        rc = main(["explain", "synth_private", "--scale", "0.25",
+                   "--line", "0xffffff"])
+        assert rc == 0
+        assert "no trace events" in capsys.readouterr().out

@@ -59,7 +59,9 @@ class TestCaching:
         clear_memory_cache()
         r2 = run_spec(spec)  # must come from disk
         assert r2.counters == r1.counters
-        assert len(list(tmp_path.glob("*.json"))) == 1
+        # One cached result plus its provenance manifest sidecar.
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert (tmp_path / f"{spec.key()}.manifest.json").exists()
 
     def test_corrupt_cache_entry_recovered(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

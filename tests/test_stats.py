@@ -30,6 +30,16 @@ class TestCounters:
         assert m.reads == 12 and m.upgrades == 2
         assert a.reads == 5
 
+    def test_as_dict_keys_sorted(self):
+        keys = list(Counters().as_dict())
+        assert keys == sorted(keys)
+
+    def test_repr_uses_sorted_nonzero_keys(self):
+        c = Counters()
+        c.writes = 3
+        c.reads = 9
+        assert repr(c) == "Counters({'reads': 9, 'writes': 3})"
+
     def test_read_miss_classified(self):
         c = Counters()
         c.read_miss_cold = 1
