@@ -11,6 +11,11 @@ This package is the repo's correctness gate (``coma-sim verify`` /
   minimal counterexample traces;
 * :mod:`repro.analysis.crosscheck` — drives the executable
   :class:`~repro.coma.machine.ComaMachine` against the table;
+* :mod:`repro.analysis.liveness` — deadlock-freedom and
+  no-replacement-livelock proofs over the same transition system (L…);
+* :mod:`repro.analysis.sanitize` — the runtime coherence sanitizer: a
+  trace sink checking happens-before races (R…), golden shadow-memory
+  value integrity (V…) and relocation ping-pong (L003) on live runs;
 * :mod:`repro.analysis.lint` — the determinism/hygiene AST linter
   (DET/MUT/FLT/EXC rules) over ``src/repro``;
 * :mod:`repro.analysis.report` — shared finding vocabulary.
@@ -23,24 +28,35 @@ from repro.analysis.crosscheck import crosscheck
 from repro.analysis.invariants import ALL_RULES, check_line_state, check_table
 from repro.analysis.lint import RULES as LINT_RULES
 from repro.analysis.lint import lint_file, lint_source, lint_tree
+from repro.analysis.liveness import check_liveness, format_liveness_report
 from repro.analysis.model import ProtocolModel, Step
 from repro.analysis.modelcheck import check_protocol, format_report
 from repro.analysis.report import AnalysisReport, Finding, format_findings
+from repro.analysis.sanitize import (
+    CoherenceSanitizer,
+    build_provenance,
+    sanitizer_for,
+)
 
 __all__ = [
     "ALL_RULES",
     "AnalysisReport",
+    "CoherenceSanitizer",
     "Finding",
     "LINT_RULES",
     "ProtocolModel",
     "Step",
+    "build_provenance",
     "check_line_state",
+    "check_liveness",
     "check_protocol",
     "check_table",
     "crosscheck",
     "format_findings",
+    "format_liveness_report",
     "format_report",
     "lint_file",
     "lint_source",
     "lint_tree",
+    "sanitizer_for",
 ]

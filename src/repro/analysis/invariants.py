@@ -13,7 +13,11 @@ Two families, each with stable IDs used by tests, CI and suppression:
 
 The executable cross-check (:mod:`repro.analysis.crosscheck`) reports
 **C-rules** (``C001``/``C002``) when the simulator's behaviour diverges
-from the table.
+from the table.  The liveness checker (:mod:`repro.analysis.liveness`)
+and the runtime coherence sanitizer (:mod:`repro.analysis.sanitize`)
+report **L-rules** (deadlock/livelock/ping-pong) and **R/V-rules**
+(races, stale values, lost copies); their catalogues live here so every
+stable rule ID has one home.
 """
 
 from __future__ import annotations
@@ -55,7 +59,40 @@ CROSSCHECK_RULES = {
     "C002": "executable relocation (evict/inject) diverges from the table",
 }
 
-ALL_RULES = {**TABLE_RULES, **STATE_RULES, **CROSSCHECK_RULES}
+#: Liveness rules: L001/L002 are proved over the lifted transition system
+#: by :mod:`repro.analysis.liveness`; L003 is a runtime watchdog in the
+#: coherence sanitizer (:mod:`repro.analysis.sanitize`).
+LIVENESS_RULES = {
+    "L001": "deadlock freedom: every reachable global state enables at "
+            "least one step",
+    "L002": "no replacement livelock: no reachable cycle of states whose "
+            "every enabled step is an eviction (under weak fairness the "
+            "machine must always be able to serve an access)",
+    "L003": "no relocation ping-pong: a line must not be relocated again "
+            "and again out of the node that just accepted it with no "
+            "intervening processor access",
+}
+
+#: Dynamic sanitizer rules, checked against a live event stream by
+#: :class:`repro.analysis.sanitize.CoherenceSanitizer`.
+SANITIZER_RULES = {
+    "R001": "no write/write data race: two stores to the same address by "
+            "different processors must be ordered by happens-before",
+    "R002": "no read/write data race: a load and a store to the same "
+            "address by different processors must be ordered by "
+            "happens-before",
+    "R003": "declared-private addresses are touched by exactly one "
+            "processor (workload partitioning matches its declaration)",
+    "V001": "no stale read: a load is served by a copy at the golden "
+            "shadow memory's latest committed version",
+    "V002": "no stale relocation: a relocated owner copy carries the "
+            "latest committed version",
+    "V003": "no lost copy: every hit, store and relocation is backed by a "
+            "copy the protocol actually installed",
+}
+
+ALL_RULES = {**TABLE_RULES, **STATE_RULES, **CROSSCHECK_RULES,
+             **LIVENESS_RULES, **SANITIZER_RULES}
 
 
 def _row_finding(rule: str, t: Transition, why: str) -> Finding:

@@ -3,7 +3,8 @@
 The simulator's results must be bit-reproducible (the golden tests and
 the result cache depend on it), so a handful of Python constructs are
 banned outright in the deterministic core — the ``sim``, ``coma``,
-``bus`` and ``timing`` subsystems — and a few more are banned everywhere:
+``bus``, ``timing``, ``obs``, ``trace`` and ``workloads`` subsystems —
+and a few more are banned everywhere:
 
 =======  ==============================================================
 rule     meaning
@@ -46,8 +47,13 @@ RULES = {
 
 #: Subsystems whose results feed simulated time / coherence decisions.
 #: ``obs`` is included because trace files must be deterministic: sinks
-#: take timestamps as parameters, never from the wall clock.
-RESTRICTED_SUBSYSTEMS = frozenset({"sim", "coma", "bus", "timing", "obs"})
+#: take timestamps as parameters, never from the wall clock.  ``trace``
+#: and ``workloads`` generate the reference streams every figure is
+#: computed from, so they are held to the same standard: all randomness
+#: must flow through the seeded per-purpose RNGs.
+RESTRICTED_SUBSYSTEMS = frozenset({
+    "sim", "coma", "bus", "timing", "obs", "trace", "workloads",
+})
 
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns",

@@ -1,0 +1,207 @@
+"""Liveness verification for the E/O/S/I protocol (L-rules).
+
+The reachability checker (:mod:`repro.analysis.modelcheck`) proves
+*safety*: no reachable state violates the single-owner/no-lost-copy
+invariants.  A protocol can satisfy all of those and still be useless —
+it can wedge (no step enabled anywhere) or churn forever (the only thing
+it can ever do is relocate owner lines from node to node without any
+processor making progress).  This module proves two liveness properties
+over the same lifted transition system:
+
+* **L001 — deadlock freedom.**  Every reachable global state has at
+  least one enabled step.  The BFS parent map makes the first
+  counterexample's event trace minimal.
+* **L002 — no replacement livelock.**  Under weak fairness, the system
+  must always be able to leave the *relocation-only* region: states
+  whose every enabled step is an eviction.  A cycle inside that region
+  is an execution where the machine shuffles owner lines between nodes
+  forever while no load or store can ever fire.
+
+With the shipped table both properties hold vacuously strong: every
+state enables a local read, so the relocation-only region is empty.
+The value of the pass is the same as the safety checker's — a table
+edit that breaks liveness is caught with a minimal trace, and the
+mutation tests in ``tests/test_liveness.py`` pin the rule IDs.
+
+(L003, relocation ping-pong at runtime, is a trace-driven watchdog in
+:mod:`repro.analysis.sanitize` — it needs real capacity pressure, which
+the abstract capacity-free model cannot express.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.analysis.model import GlobalState, ProtocolModel, Step
+from repro.analysis.modelcheck import MAX_STATES, format_trace, trace_to
+from repro.analysis.report import AnalysisReport, Finding
+from repro.coma.protocol import TRANSITIONS, Transition
+
+
+def check_liveness(
+    transitions: Sequence[Transition] = TRANSITIONS,
+    n_nodes: int = 3,
+    n_lines: int = 1,
+    max_states: int = MAX_STATES,
+) -> AnalysisReport:
+    """Prove deadlock freedom (L001) and no replacement livelock (L002).
+
+    Explores every reachable global state breadth-first, so the first
+    deadlock found has a minimal event trace; livelock counterexamples
+    report the shortest path into the relocation-only region plus the
+    cycle that traps the machine there.
+    """
+    report = AnalysisReport()
+    model = ProtocolModel(transitions, n_nodes=n_nodes, n_lines=n_lines)
+    init = model.initial_state()
+
+    parent: dict[GlobalState, Optional[tuple[GlobalState, Step]]] = {init: None}
+    queue = deque([init])
+    order: list[GlobalState] = []          # BFS discovery order
+    enabled: dict[GlobalState, list[Step]] = {}
+    n_transitions = 0
+    truncated = False
+
+    while queue and not truncated:
+        state = queue.popleft()
+        order.append(state)
+        steps = model.steps(state)
+        enabled[state] = steps
+        for step in steps:
+            n_transitions += 1
+            succ = model.apply(state, step)
+            if succ not in parent:
+                if len(parent) >= max_states:
+                    truncated = True
+                    break
+                parent[succ] = (state, step)
+                queue.append(succ)
+
+    if truncated:
+        report.findings.append(Finding(
+            rule="L001",
+            message=f"state-space exceeded {max_states} states before the "
+            "liveness check finished — cannot prove deadlock freedom",
+            path="liveness-check",
+        ))
+
+    # -- L001: deadlock freedom ----------------------------------------
+    deadlocks = [s for s in order if not enabled[s]]
+    if deadlocks:
+        first = deadlocks[0]               # BFS order => minimal trace
+        stuck = model.stuck_relocations(first)
+        why = (
+            "the only enabled actions are owner evictions with no willing "
+            "receiver" if stuck else "no load, store, eviction or inject "
+            "row applies anywhere"
+        )
+        report.findings.append(Finding(
+            rule="L001",
+            message=f"reachable deadlock: no step is enabled ({why})",
+            path="liveness-check",
+            detail=format_trace(trace_to(first, parent)),
+        ))
+
+    # -- L002: no replacement livelock ---------------------------------
+    reloc_only = {
+        s for s in order
+        if enabled[s] and all(st.event == "evict" for st in enabled[s])
+    }
+    cycle = _find_cycle(model, reloc_only, enabled, order)
+    if cycle is not None:
+        entry, loop_steps = cycle
+        detail = [format_trace(trace_to(entry, parent)),
+                  "relocation-only cycle from there:"]
+        cur = entry
+        for step in loop_steps:
+            cur = model.apply(cur, step)
+            detail.append(f"  loop: {step.describe():40s} -> "
+                          f"{_fmt(cur)}")
+        report.findings.append(Finding(
+            rule="L002",
+            message="replacement livelock: a reachable cycle of states "
+            "whose every enabled step is an eviction — under weak fairness "
+            "the machine can relocate owner lines forever while no "
+            "processor access is ever possible",
+            path="liveness-check",
+            detail="\n".join(detail),
+        ))
+
+    report.stats["states"] = len(parent)
+    report.stats["transitions"] = n_transitions
+    report.stats["deadlock_states"] = len(deadlocks)
+    report.stats["relocation_only_states"] = len(reloc_only)
+    return report
+
+
+def _fmt(state: GlobalState) -> str:
+    from repro.analysis.model import format_global_state
+
+    return format_global_state(state)
+
+
+def _find_cycle(
+    model: ProtocolModel,
+    reloc_only: set[GlobalState],
+    enabled: dict[GlobalState, list[Step]],
+    order: list[GlobalState],
+) -> Optional[tuple[GlobalState, list[Step]]]:
+    """First cycle inside the relocation-only region, if any.
+
+    DFS restricted to relocation-only states, seeded in BFS discovery
+    order so the reported entry state is as shallow as possible.  The
+    region is tiny (empty for the shipped table; at most ``4^(nodes
+    * lines)`` states for a mutated one), so plain recursion is fine.
+    Returns ``(entry_state, steps_around_the_cycle)``.
+    """
+    visited: set[GlobalState] = set()
+    for seed in order:
+        if seed not in reloc_only or seed in visited:
+            continue
+        found = _dfs(model, seed, reloc_only, enabled, visited, {}, [])
+        if found is not None:
+            return found
+    return None
+
+
+def _dfs(
+    model: ProtocolModel,
+    state: GlobalState,
+    reloc_only: set[GlobalState],
+    enabled: dict[GlobalState, list[Step]],
+    visited: set[GlobalState],
+    on_path: dict[GlobalState, int],
+    edges: list[Step],
+) -> Optional[tuple[GlobalState, list[Step]]]:
+    on_path[state] = len(edges)
+    for step in enabled[state]:
+        succ = model.apply(state, step)
+        if succ not in reloc_only:
+            continue
+        if succ in on_path:                # back edge: cycle found
+            return succ, edges[on_path[succ]:] + [step]
+        if succ in visited:
+            continue
+        edges.append(step)
+        found = _dfs(model, succ, reloc_only, enabled, visited,
+                     on_path, edges)
+        if found is not None:
+            return found
+        edges.pop()
+    del on_path[state]
+    visited.add(state)
+    return None
+
+
+def format_liveness_report(report: AnalysisReport) -> str:
+    head = (
+        f"explored {report.stats.get('states', 0)} states / "
+        f"{report.stats.get('transitions', 0)} transitions, "
+        f"{report.stats.get('relocation_only_states', 0)} relocation-only"
+    )
+    if report.ok:
+        return f"liveness OK: {head}, deadlock-free, no replacement livelock"
+    from repro.analysis.report import format_findings
+
+    return f"liveness BROKEN ({head}):\n{format_findings(report.findings)}"

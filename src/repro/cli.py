@@ -10,6 +10,7 @@ Examples::
     coma-sim thresholds
     coma-sim trace synth_migratory --scale 0.1 --chrome trace.json
     coma-sim explain synth_migratory --scale 0.1 --line 0x80
+    coma-sim sanitize fft --mp 0.875 --scale 0.1 --report findings.json
 """
 
 from __future__ import annotations
@@ -184,11 +185,15 @@ def _cmd_protocol(_args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.crosscheck import crosscheck
+    from repro.analysis.liveness import check_liveness, format_liveness_report
     from repro.analysis.modelcheck import check_protocol, format_report
 
     report = check_protocol(n_nodes=args.nodes, n_lines=args.lines)
     print(format_report(report))  # findings (with traces) included when broken
     ok = report.ok
+    lv = check_liveness(n_nodes=args.nodes, n_lines=args.lines)
+    print(format_liveness_report(lv))
+    ok = ok and lv.ok
     if not args.no_crosscheck:
         xc = crosscheck(nodes=min(args.nodes, 3), depth=args.depth)
         status = "OK" if xc.ok else "DIVERGED"
@@ -203,6 +208,59 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(format_findings(xc.findings), file=sys.stderr)
         ok = ok and xc.ok
     return 0 if ok else 1
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import format_findings
+    from repro.analysis.sanitize import sanitizer_for
+    from repro.experiments.runner import build_simulation
+
+    spec = _trace_spec(args)
+    sim = build_simulation(spec)
+    san = sanitizer_for(
+        sim,
+        spec=spec,
+        allow=args.allow or (),
+        window=args.window,
+        pingpong_threshold=args.pingpong,
+    )
+    sim.machine.set_trace(san)
+    sim.run()
+    report = san.finish()
+    prov = san.provenance or {}
+    print(f"# provenance: repro={prov.get('repro', '?')} "
+          f"cache_version={prov.get('cache_version', '?')} "
+          f"git_rev={prov.get('git_rev', '?')} seed={prov.get('seed', '?')}")
+    s = report.stats
+    print(f"sanitize {args.workload} ({args.machine}, "
+          f"mp={args.memory_pressure}): {s['events']} events — "
+          f"{s['accesses']} accesses, {s['syncops']} sync ops, "
+          f"{s['transitions']} transitions, {s['replacements']} relocations")
+    if args.report:
+        payload = {
+            "provenance": prov,
+            "stats": report.stats,
+            "findings": [
+                {"rule": f.rule, "message": f.message, "path": f.path,
+                 "detail": f.detail}
+                for f in report.findings
+            ],
+        }
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report: {args.report}")
+    if report.findings:
+        print(format_findings(report.findings), file=sys.stderr)
+        print(f"sanitize FAILED: {len(report.findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    suppressed = s.get("suppressed", 0)
+    tail = f" ({suppressed} suppressed)" if suppressed else ""
+    print(f"sanitize OK: no races, no stale values, no ping-pong{tail}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -409,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--machine", choices=["coma", "hcoma"], default="coma")
         sp.add_argument("--procs-per-node", type=int, default=1,
                         choices=[1, 2, 4, 8, 16])
-        sp.add_argument("--memory-pressure", type=float, default=0.5)
+        sp.add_argument("--memory-pressure", "--mp", type=float, default=0.5)
         sp.add_argument("--scale", type=float, default=1.0)
         sp.add_argument("--seed", type=int, default=1997)
 
@@ -427,6 +485,22 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--flight-dump", metavar="PATH",
                     help="where to dump the flight recorder if the run dies")
     tr.set_defaults(func=_cmd_trace)
+
+    sz = sub.add_parser(
+        "sanitize",
+        help="run one simulation under the coherence sanitizer "
+        "(races, stale values, relocation ping-pong)",
+    )
+    _traced(sz)
+    sz.add_argument("--window", type=int, default=32, metavar="N",
+                    help="trailing events attached to each finding")
+    sz.add_argument("--pingpong", type=int, default=24, metavar="N",
+                    help="chained relocations before L003 fires")
+    sz.add_argument("--allow", nargs="*", metavar="RULE",
+                    help="rule IDs to suppress (e.g. R002 L003)")
+    sz.add_argument("--report", metavar="PATH",
+                    help="write findings + provenance as JSON")
+    sz.set_defaults(func=_cmd_sanitize)
 
     ex = sub.add_parser(
         "explain", help="narrate one cache line's protocol history"

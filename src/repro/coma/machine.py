@@ -123,7 +123,8 @@ class ComaMachine:
             c.l1_read_hits += 1
             done = now + self.timing.l1_hit_ns
             if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_L1, done - now)
+                self.trace.access(now, proc, "r", line, LEVEL_L1, done - now,
+                                  addr)
             return done, LEVEL_L1
 
         slc = self.slcs[proc]
@@ -133,7 +134,8 @@ class ComaMachine:
             self.l1s[proc].fill(line)
             done = start + self.timing.slc_hit_ns
             if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_SLC, done - now)
+                self.trace.access(now, proc, "r", line, LEVEL_SLC, done - now,
+                                  addr)
             return done, LEVEL_SLC
 
         # Node level: the attraction memory (or the overflow buffer).
@@ -146,7 +148,8 @@ class ComaMachine:
             c.am_read_hits += 1
             self._fill_hierarchy(proc, node, line, entry)
             if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now)
+                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
+                                  addr)
             return done, LEVEL_AM
         if line in node.overflow:
             done = self._am_access(node, now)
@@ -154,7 +157,8 @@ class ComaMachine:
                 node.shadow.access(line)
             c.overflow_read_hits += 1
             if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now)
+                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
+                                  addr)
             return done, LEVEL_AM
         if not self.config.inclusive:
             sr = node.slc_resident.get(line)
@@ -167,7 +171,8 @@ class ComaMachine:
                 c.slc_neighbor_hits += 1
                 self._fill_slc_resident(proc, node, line, sr)
                 if self.trace is not None:
-                    self.trace.access(now, proc, "r", line, LEVEL_AM, done - now)
+                    self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
+                                  addr)
                 return done, LEVEL_AM
 
         # Read node miss.
@@ -188,7 +193,8 @@ class ComaMachine:
             # Uncached read: data delivered, no local copy retained.
             done = t + self.timing.remote_overhead_ns
             if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_REMOTE, done - now)
+                self.trace.access(now, proc, "r", line, LEVEL_REMOTE,
+                                  done - now, addr)
             return done, LEVEL_REMOTE
         node.am.fill(way, line, SHARED)
         node.note_present(line)
@@ -199,7 +205,8 @@ class ComaMachine:
         done = s + self.timing.dram_latency_ns + self.timing.remote_overhead_ns
         self._fill_hierarchy(proc, node, line, way)
         if self.trace is not None:
-            self.trace.access(now, proc, "r", line, LEVEL_REMOTE, done - now)
+            self.trace.access(now, proc, "r", line, LEVEL_REMOTE,
+                                  done - now, addr)
         return done, LEVEL_REMOTE
 
     def write(self, proc: int, addr: int, now: int) -> int:
@@ -217,7 +224,7 @@ class ComaMachine:
             self._bg = False
         if self.trace is not None:
             self.trace.access(now, proc, "w", addr >> self._shift, level,
-                              done - now)
+                              done - now, addr)
         return done
 
     def rmw(self, proc: int, addr: int, now: int) -> tuple[int, str]:
@@ -230,7 +237,7 @@ class ComaMachine:
         done, level = self._write_access(proc, addr, now)
         if self.trace is not None:
             self.trace.access(now, proc, "rmw", addr >> self._shift, level,
-                              done - now)
+                              done - now, addr)
         return done, level
 
     def write_stalling(self, proc: int, addr: int, now: int) -> tuple[int, str]:
@@ -239,7 +246,7 @@ class ComaMachine:
         done, level = self._write_access(proc, addr, now)
         if self.trace is not None:
             self.trace.access(now, proc, "w", addr >> self._shift, level,
-                              done - now)
+                              done - now, addr)
         return done, level
 
     # ------------------------------------------------------------------
@@ -555,6 +562,9 @@ class ComaMachine:
             info.sharers.discard(node.id)
             node.note_removed(line, REMOVED_EVICTED)
             self.counters.shared_drops += 1
+            if self.trace is not None:
+                self.trace.transition(self.now, node.id, line, "drop",
+                                      "S", "I")
             return
         # Last copy of an owner line: reinsert into the attraction memory.
         way = self.repl.make_room(node, line, self.now, mandatory=True)

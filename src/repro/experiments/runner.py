@@ -38,7 +38,7 @@ from repro.sync.primitives import SyncSpace
 from repro.workloads.registry import get_workload
 
 #: Bump when simulator semantics change, invalidating old cached results.
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 _memory_cache: dict[str, SimulationResult] = {}
 
@@ -160,7 +160,10 @@ def build_simulation(spec: RunSpec) -> Simulation:
     else:
         raise ValueError(f"unknown machine kind {spec.machine!r}")
     programs = [wl.thread(t) for t in range(spec.n_processors)]
-    return Simulation(machine, programs, sync)
+    sim = Simulation(machine, programs, sync)
+    # The sanitizer reads the workload's sharing declarations off the sim.
+    sim.workload = wl
+    return sim
 
 
 # ----------------------------------------------------------------------

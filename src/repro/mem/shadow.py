@@ -44,3 +44,43 @@ class ShadowTags:
         """Coherence invalidation: the copy would be gone regardless of
         associativity, so remove it from the shadow too."""
         self._lines.pop(line, None)
+
+
+class ShadowMemory:
+    """Golden per-line store log for trace-driven value checking.
+
+    The machine never models data values, so "value" here is a per-line
+    *version*: each committed store bumps the line's version and records
+    the storing processor and time.  A copy created or refreshed by the
+    protocol is stamped with the version current at that moment; the
+    sanitizer (:mod:`repro.analysis.sanitize`) compares copy stamps
+    against this log to catch stale reads and lost updates that the
+    structural I-invariants cannot see.
+    """
+
+    __slots__ = ("_lines",)
+
+    def __init__(self) -> None:
+        #: line -> (version, last writing proc, store time)
+        self._lines: dict[int, tuple[int, int, int]] = {}
+
+    def commit(self, line: int, proc: int, t: int) -> int:
+        """Record one committed store; returns the line's new version."""
+        version = self._lines.get(line, (0, -1, 0))[0] + 1
+        self._lines[line] = (version, proc, t)
+        return version
+
+    def version(self, line: int) -> int:
+        """Current committed version of ``line`` (0 before any store)."""
+        return self._lines.get(line, (0, -1, 0))[0]
+
+    def last(self, line: int) -> tuple[int, int, int]:
+        """``(version, proc, t)`` of the last committed store (or the
+        zero version when the line was never stored to)."""
+        return self._lines.get(line, (0, -1, 0))
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -29,6 +29,7 @@ from repro.obs.events import (
     BusTx,
     MemAccess,
     Replacement,
+    SyncOp,
     SyncStall,
     Transition,
     format_event,
@@ -48,6 +49,7 @@ __all__ = [
     "MemAccess",
     "Replacement",
     "RunManifest",
+    "SyncOp",
     "SyncStall",
     "TeeSink",
     "TraceSink",

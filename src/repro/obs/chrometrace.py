@@ -40,7 +40,8 @@ class ChromeTraceSink(TraceSink):
 
     # -- typed entry points --------------------------------------------
 
-    def access(self, t, proc, op, line, level, latency_ns) -> None:
+    def access(self, t, proc, op, line, level, latency_ns,
+               addr: int = -1) -> None:
         self._add({
             "ph": "X", "pid": PID_PROCESSORS, "tid": proc,
             "ts": _us(t), "dur": _us(latency_ns),
@@ -93,7 +94,8 @@ class ChromeTraceSink(TraceSink):
         """Route a pre-built event object through the typed methods."""
         kind = ev.kind
         if kind == "access":
-            self.access(ev.t, ev.proc, ev.op, ev.line, ev.level, ev.latency_ns)
+            self.access(ev.t, ev.proc, ev.op, ev.line, ev.level,
+                        ev.latency_ns, ev.addr)
         elif kind == "transition":
             self.transition(ev.t, ev.node, ev.line, ev.cause,
                             ev.before, ev.after)

@@ -1,6 +1,6 @@
 """The trace-event taxonomy.
 
-Five event types cover everything the paper's mechanisms do:
+Six event types cover everything the paper's mechanisms do:
 
 ==============  ========================================================
 event           meaning
@@ -16,6 +16,9 @@ event           meaning
                 way, shared way, forced cascade hop, overflow park) or
                 that an optional allocation was abandoned (uncached)
 ``sync``        one lock/barrier wait: who stalled, on what, how long
+``syncop``      one synchronization *ordering point*: a lock acquire or
+                release, a barrier arrival or departure — the
+                happens-before edges race detection is built from
 ==============  ========================================================
 
 Events are plain frozen dataclasses holding only ints and strings, so a
@@ -34,6 +37,7 @@ EV_TRANSITION = "transition"
 EV_BUS = "bus"
 EV_REPLACEMENT = "replacement"
 EV_SYNC = "sync"
+EV_SYNCOP = "syncop"
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,13 +50,17 @@ class MemAccess:
     line: int
     level: str    # "l1" | "slc" | "am" | "remote"
     latency_ns: int
+    #: Byte address of the operation, -1 when unknown.  The race detector
+    #: needs element granularity: two threads writing different words of
+    #: one line is false sharing, not a data race.
+    addr: int = -1
 
     kind = EV_ACCESS
 
     def to_record(self) -> dict:
         return {"ev": EV_ACCESS, "t": self.t, "proc": self.proc,
                 "op": self.op, "line": self.line, "level": self.level,
-                "lat": self.latency_ns}
+                "lat": self.latency_ns, "addr": self.addr}
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,13 +141,38 @@ class SyncStall:
                 "wait": self.wait_ns}
 
 
+@dataclass(frozen=True, slots=True)
+class SyncOp:
+    """One synchronization ordering point.
+
+    ``acquire``/``release`` bracket a lock-protected critical section;
+    ``arrive``/``depart`` bracket a barrier episode.  The simulation
+    kernel emits these in its processing order, which is a legal total
+    order of the synchronization protocol, so a happens-before analysis
+    can fold them directly into vector clocks.
+    """
+
+    t: int
+    proc: int
+    op: str         # "acquire" | "release" | "arrive" | "depart"
+    primitive: str  # "lock" | "barrier"
+    obj: int        # lock/barrier id
+
+    kind = EV_SYNCOP
+
+    def to_record(self) -> dict:
+        return {"ev": EV_SYNCOP, "t": self.t, "proc": self.proc,
+                "op": self.op, "primitive": self.primitive,
+                "obj": self.obj}
+
+
 # ----------------------------------------------------------------------
 def record_to_event(d: dict):
     """Rebuild a typed event from a serialized record (see ``to_record``)."""
     ev = d["ev"]
     if ev == EV_ACCESS:
         return MemAccess(d["t"], d["proc"], d["op"], d["line"],
-                         d["level"], d["lat"])
+                         d["level"], d["lat"], d.get("addr", -1))
     if ev == EV_TRANSITION:
         return Transition(d["t"], d["node"], d["line"], d["cause"],
                           d["before"], d["after"])
@@ -152,6 +185,8 @@ def record_to_event(d: dict):
     if ev == EV_SYNC:
         return SyncStall(d["t"], d["proc"], d["primitive"], d["obj"],
                          d["wait"])
+    if ev == EV_SYNCOP:
+        return SyncOp(d["t"], d["proc"], d["op"], d["primitive"], d["obj"])
     raise ValueError(f"unknown event record kind {ev!r}")
 
 
@@ -177,4 +212,7 @@ def format_event(ev) -> str:
     if k == EV_SYNC:
         return (f"{ev.t:>12} ns  P{ev.proc:<2} {ev.primitive} {ev.obj} "
                 f"waited {ev.wait_ns} ns")
+    if k == EV_SYNCOP:
+        return (f"{ev.t:>12} ns  P{ev.proc:<2} {ev.op} "
+                f"{ev.primitive} {ev.obj}")
     return repr(ev)  # pragma: no cover - future event kinds

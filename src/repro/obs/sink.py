@@ -21,6 +21,7 @@ from repro.obs.events import (
     BusTx,
     MemAccess,
     Replacement,
+    SyncOp,
     SyncStall,
     Transition,
 )
@@ -32,8 +33,8 @@ class TraceSink:
     # -- emission API used by the instrumented machines ----------------
 
     def access(self, t: int, proc: int, op: str, line: int,
-               level: str, latency_ns: int) -> None:
-        self.emit(MemAccess(t, proc, op, line, level, latency_ns))
+               level: str, latency_ns: int, addr: int = -1) -> None:
+        self.emit(MemAccess(t, proc, op, line, level, latency_ns, addr))
 
     def transition(self, t: int, node: int, line: int, cause: str,
                    before: str, after: str) -> None:
@@ -50,6 +51,10 @@ class TraceSink:
     def sync(self, t: int, proc: int, primitive: str, obj: int,
              wait_ns: int) -> None:
         self.emit(SyncStall(t, proc, primitive, obj, wait_ns))
+
+    def syncop(self, t: int, proc: int, op: str, primitive: str,
+               obj: int) -> None:
+        self.emit(SyncOp(t, proc, op, primitive, obj))
 
     # -- sink lifecycle -------------------------------------------------
 

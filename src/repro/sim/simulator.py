@@ -49,6 +49,9 @@ class Simulation:
             )
         self.machine = machine
         self.sync = sync
+        #: Set by the runner; lets attached analyses (the coherence
+        #: sanitizer) read the workload's sharing declarations.
+        self.workload = None
         self.max_events = max_events
         self.check_every = check_every
         self.profiler = profiler
@@ -196,6 +199,9 @@ class Simulation:
             p.clock = done
             lock.holder = p.pid
             self.machine.counters.lock_acquires += 1
+            trace = getattr(self.machine, "trace", None)
+            if trace is not None:
+                trace.syncop(done, p.pid, "acquire", "lock", lock.lock_id)
         else:
             lock.waiters.append(p.pid)
             p.block()
@@ -212,6 +218,9 @@ class Simulation:
         p.clock = now
         handoff = self.machine.write(p.pid, lock.addr, p.clock)
         lock.holder = None
+        trace = getattr(self.machine, "trace", None)
+        if trace is not None:
+            trace.syncop(p.clock, p.pid, "release", "lock", lock.lock_id)
         if lock.waiters:
             wpid = lock.waiters.popleft()
             # The release invalidated every waiter's cached copy of the
@@ -223,12 +232,12 @@ class Simulation:
             self.machine.counters.lock_acquires += 1
             wp = self.procs[wpid]
             wp.unblock(done)
-            trace = getattr(self.machine, "trace", None)
             if trace is not None:
                 trace.sync(
                     wp.clock, wpid, "lock", lock.lock_id,
                     wp.clock - wp.block_start,
                 )
+                trace.syncop(done, wpid, "acquire", "lock", lock.lock_id)
             heapq.heappush(self._heap, (wp.clock, wpid))
 
     def _barrier(self, p: Processor, b: SimBarrier) -> None:
@@ -240,6 +249,9 @@ class Simulation:
         self._charge(p, level, done - p.clock)
         p.clock = done
         b.arrived[p.pid] = done
+        trace = getattr(self.machine, "trace", None)
+        if trace is not None:
+            trace.syncop(done, p.pid, "arrive", "barrier", b.barrier_id)
         if len(b.arrived) < self.n_participants:
             p.block()
             return
@@ -247,7 +259,6 @@ class Simulation:
         release_t = max(b.arrived.values())
         sense_done = self.machine.write(p.pid, b.addr, release_t)
         self.machine.counters.barrier_episodes += 1
-        trace = getattr(self.machine, "trace", None)
         for pid2 in b.arrived:
             if pid2 == p.pid:
                 continue
@@ -259,10 +270,13 @@ class Simulation:
                     q.clock, pid2, "barrier", b.barrier_id,
                     q.clock - q.block_start,
                 )
+                trace.syncop(rdone, pid2, "depart", "barrier", b.barrier_id)
             heapq.heappush(self._heap, (q.clock, pid2))
         if sense_done > p.clock:
             p.acct.sync += sense_done - p.clock
             p.clock = sense_done
+        if trace is not None:
+            trace.syncop(p.clock, p.pid, "depart", "barrier", b.barrier_id)
         b.arrived.clear()
         b.generation += 1
 

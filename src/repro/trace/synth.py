@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mem.address import AddressSpace
-from repro.workloads.base import SharedArray, Workload
+from repro.workloads.base import (
+    SHARING_PRIVATE,
+    SHARING_SHARED,
+    SharedArray,
+    Workload,
+)
 from repro.workloads.registry import register
 
 
@@ -21,6 +26,8 @@ class _SynthBase(Workload):
     #: accesses per thread
     ops = 4000
     array_kb = 128
+    #: sharing pattern declared for the data segment (sanitizer R003)
+    sharing = SHARING_SHARED
 
     def __init__(self, n_threads: int = 16, scale: float = 1.0, seed: int = 1997):
         super().__init__(n_threads, scale, seed)
@@ -28,6 +35,9 @@ class _SynthBase(Workload):
 
     def allocate(self, space: AddressSpace) -> None:
         self.arr = SharedArray(space, f"{self.name}.data", self.n_elems, itemsize=8)
+
+    def declared_sharing(self) -> dict[str, str]:
+        return {f"{self.name}.data": self.sharing}
 
     def _first_touch(self, tid: int):
         for i in self.chunk(self.n_elems, tid)[::8]:
@@ -78,6 +88,7 @@ class SyntheticPrivate(_SynthBase):
 
     name = "synth_private"
     description = "private sequential streaming"
+    sharing = SHARING_PRIVATE
 
     def thread(self, tid: int) -> Iterator[tuple]:
         yield from self._first_touch(tid)
@@ -117,7 +128,11 @@ class SyntheticMigratory(_SynthBase):
 class SyntheticProducerConsumer(_SynthBase):
     """Producer/consumer pairs: even threads write a buffer their odd
     neighbour then reads.  Sequential thread placement co-locates pairs in
-    a cluster — the sharing pattern the paper's clustering exploits."""
+    a cluster — the sharing pattern the paper's clustering exploits.
+
+    Each round is two barrier-separated phases (produce, then consume) so
+    the handoff is properly synchronized — the consumer never reads the
+    buffer while its producer is still writing it."""
 
     name = "synth_producer_consumer"
     description = "neighbour producer/consumer handoff"
@@ -129,11 +144,13 @@ class SyntheticProducerConsumer(_SynthBase):
         region = max(8, self.n_elems // (4 * self.n_threads))
         base = self.chunk(self.n_elems, min(tid, pair)).start
         for rnd in range(self.rounds):
-            if (tid % 2 == 0) == (rnd % 2 == 0):
+            producer = (tid % 2 == 0) == (rnd % 2 == 0)
+            if producer:
                 for i in range(base, min(base + region, self.n_elems)):
                     yield ("w", self.arr.addr(i))
                 yield ("c", 3 * region)
-            else:
+            yield ("b", 0)
+            if not producer:
                 for i in range(base, min(base + region, self.n_elems)):
                     yield ("r", self.arr.addr(i))
                 yield ("c", 3 * region)

@@ -111,8 +111,17 @@ class BarnesWorkload(Workload):
         )
 
     def _insert(self, cell: _Cell, body: int, events: list) -> None:
-        """Insert ``body``; appends the simulated accesses to ``events``."""
+        """Insert ``body``; appends the simulated accesses to ``events``.
+
+        Each cell's accesses are bracketed by that *cell's* hashed lock
+        (as in the SPLASH-2 code): concurrent insertions by different
+        threads meet in shared interior cells, and only a lock keyed on
+        the cell orders those conflicting accesses.  Locks never nest,
+        so the hashed sharing cannot deadlock.
+        """
         o = self._octant(cell, self.pos[body])
+        lid = cell.index % self.n_locks
+        events.append(("l", lid))
         events.append(("r", self._cell_addr(cell.index, o)))
         child = cell.children[o]
         if child is None:
@@ -120,13 +129,24 @@ class BarnesWorkload(Workload):
             leaf.body = body
             cell.children[o] = leaf
             events.append(("w", self._cell_addr(cell.index, o)))
+            events.append(("u", lid))
+            # The new leaf's body field is written under the *leaf's* own
+            # lock: a later insertion that splits this leaf reads the field
+            # under that same lock, which is what orders the two accesses.
+            llid = leaf.index % self.n_locks
+            events.append(("l", llid))
             events.append(("w", self._cell_addr(leaf.index, 8)))
+            events.append(("u", llid))
             return
+        events.append(("u", lid))
         if child.body is not None:
             # Split the leaf: push the resident body down.
             old = child.body
             child.body = None
+            clid = child.index % self.n_locks
+            events.append(("l", clid))
             events.append(("r", self._cell_addr(child.index, 8)))
+            events.append(("u", clid))
             self._insert(child, old, events)
         self._insert(child, body, events)
 
@@ -209,14 +229,12 @@ class BarnesWorkload(Workload):
                     self._build_tree()
                 yield ("b", 0)
             # Parallel tree build: replay each owned body's insertion
-            # access stream under a hashed cell lock.
+            # access stream; the per-cell hashed locks are embedded in
+            # the stream itself (see _insert).
             for b in mine:
                 yield ("r", self._body_addr(b, 0))
-                lid = b % self.n_locks
-                yield ("l", lid)
                 for ev in self._insert_events[b]:
                     yield ev
-                yield ("u", lid)
                 yield ("c", 30)
             yield ("b", 0)
             # Summarization: thread 0 sweeps the cells bottom-up.

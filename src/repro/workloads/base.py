@@ -10,6 +10,17 @@ import numpy as np
 from repro.common.rng import make_rng
 from repro.mem.address import AddressSpace
 
+#: Sharing-pattern declarations for :meth:`Workload.declared_sharing`.
+#: ``private``: after an initial barrier-separated setup phase, each element
+#: is accessed by exactly one thread — a concurrent conflicting access pair
+#: is a workload bug.  ``shared``: elements may be accessed by several
+#: threads; conflicts must still be ordered by locks/barriers.  ``sync``:
+#: the segment implements synchronization itself (lock/barrier words) and
+#: is exempt from data-race checking.
+SHARING_PRIVATE = "private"
+SHARING_SHARED = "shared"
+SHARING_SYNC = "sync"
+
 
 class SharedArray:
     """A 1-D array living in the simulated shared address space.
@@ -105,6 +116,16 @@ class Workload(ABC):
     @abstractmethod
     def thread(self, tid: int) -> Iterator[tuple]:
         """The event generator executed by thread ``tid``."""
+
+    def declared_sharing(self) -> dict[str, str]:
+        """Segment-name -> sharing pattern (``SHARING_*``) declarations.
+
+        Consumed by the coherence sanitizer: a conflicting access pair on
+        a segment declared ``SHARING_PRIVATE`` is reported as a
+        partitioning bug (rule R003) even when it happens to be ordered.
+        The default declares nothing; kernels override selectively.
+        """
+        return {}
 
     # -- helpers -------------------------------------------------------------
 

@@ -28,7 +28,7 @@ class RadiosityWorkload(Workload):
     name = "radiosity"
     description = "Light distribution"
     paper_working_set_mb = 29.0  # -room -batch in the paper
-    n_locks = 9  # lock 0 = task queue, 1.. hashed patch locks
+    n_locks = 1  # lock 0 = task queue (patch fields are double-buffered)
     n_barriers = 1
 
     sweeps = 3
@@ -70,9 +70,6 @@ class RadiosityWorkload(Workload):
     def _patch_addr(self, p: int, f: int = 0) -> int:
         return self.patches.addr(p * _PATCH_FIELDS + f)
 
-    def _patch_lock(self, p: int) -> int:
-        return 1 + p % (self.n_locks - 1)
-
     def _take_task(self, n_tasks: int):
         yield ("l", 0)
         yield ("r", self.queue.addr(0))
@@ -84,23 +81,28 @@ class RadiosityWorkload(Workload):
         return t
 
     def _gather(self, p: int):
-        """Gather radiosity into patch ``p`` from its visible set."""
+        """Gather radiosity into patch ``p`` from its visible set.
+
+        Jacobi-style double buffering: the sweep reads every patch's
+        *published* radiosity (field 8, written last sweep) and stores
+        the new value into the staging field 9.  Field 8 is read-shared
+        for the whole sweep and field 9 has a single writer (the task
+        queue hands out each patch exactly once), so the gather needs no
+        patch locks — a barrier-separated flip publishes 9 -> 8.
+        """
         yield ("r", self._patch_addr(p, 0))
         off = self.vis_offset[p]
         total = 0.0
         for k, q in enumerate(self.vis[p]):
             yield ("r", self.ff.addr(off + k))
-            yield ("r", self._patch_addr(q, 8))  # q's radiosity
+            yield ("r", self._patch_addr(q, 8))  # q's published radiosity
             total += self.ff.data[off + k] * self.patches.data[q * _PATCH_FIELDS + 8]
             yield ("c", 6)
-        lid = self._patch_lock(p)
-        yield ("l", lid)
         yield ("r", self._patch_addr(p, 8))
-        self.patches.data[p * _PATCH_FIELDS + 8] = (
+        self.patches.data[p * _PATCH_FIELDS + 9] = (
             0.5 * self.patches.data[p * _PATCH_FIELDS + 8] + 0.5 * total
         )
-        yield ("w", self._patch_addr(p, 8))
-        yield ("u", lid)
+        yield ("w", self._patch_addr(p, 9))
 
     def _subdivide(self):
         """Split the brightest patches (adds work for later sweeps)."""
@@ -135,12 +137,24 @@ class RadiosityWorkload(Workload):
         yield ("b", 0)
         for sweep in range(self.sweeps):
             n_tasks = self.live
+            done: list[int] = []
             while True:
                 t = yield from self._take_task(n_tasks)
                 if t >= n_tasks:
                     break
                 yield from self._gather(t)
+                done.append(t)
                 yield ("c", 20)
+            yield ("b", 0)
+            # Flip phase: publish the staged radiosity (field 9 -> 8)
+            # for the patches this thread gathered.  One writer per
+            # patch; the barriers order it against every gather read.
+            for p in done:
+                yield ("r", self._patch_addr(p, 9))
+                self.patches.data[p * _PATCH_FIELDS + 8] = self.patches.data[
+                    p * _PATCH_FIELDS + 9
+                ]
+                yield ("w", self._patch_addr(p, 8))
             yield ("b", 0)
             if tid == 0:
                 # Reset the queue and subdivide bright patches once.

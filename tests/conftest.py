@@ -59,6 +59,43 @@ def big_machine() -> ComaMachine:
     return make_machine(n_processors=16, procs_per_node=4, am_sets=16)
 
 
+@pytest.fixture
+def sanitizer():
+    """Attach a coherence sanitizer to simulations; assert clean at teardown.
+
+    Usage::
+
+        def test_something(sanitizer):
+            sim = build_simulation(spec)
+            sanitizer(sim)          # before sim.run()
+            sim.run()
+
+    Every attached sanitizer's report is checked after the test; any R/V/L
+    finding fails it with the full finding list (window included).
+    """
+    from repro.analysis.report import format_findings
+    from repro.analysis.sanitize import sanitizer_for
+    from repro.obs.sink import TeeSink
+
+    attached = []
+
+    def attach(sim, **kwargs):
+        san = sanitizer_for(sim, **kwargs)
+        prior = getattr(sim.machine, "trace", None)
+        sim.machine.set_trace(TeeSink(prior, san) if prior is not None else san)
+        attached.append((sim, san))
+        return san
+
+    yield attach
+
+    for sim, san in attached:
+        report = san.finish()
+        assert report.ok, (
+            f"sanitizer found {len(report.findings)} issue(s):\n"
+            + format_findings(report.findings)
+        )
+
+
 def drain(machine: ComaMachine, ops, start: int = 0) -> int:
     """Apply (kind, proc, addr) operations sequentially; returns last time.
 

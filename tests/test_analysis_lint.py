@@ -185,14 +185,24 @@ class TestSyntaxErrors:
 class TestTreeScoping:
     def test_restricted_subsystem_detected_from_layout(self, tmp_path):
         (tmp_path / "coma").mkdir()
-        (tmp_path / "workloads").mkdir()
+        (tmp_path / "figures").mkdir()
         bad = "import time\nt = time.time()\n"
         (tmp_path / "coma" / "mod.py").write_text(bad)
-        (tmp_path / "workloads" / "mod.py").write_text(bad)
+        (tmp_path / "figures" / "mod.py").write_text(bad)
         report = lint_tree(tmp_path)
         assert report.stats["files"] == 2
         assert [f.rule for f in report.findings] == ["DET001"]
         assert "coma" in report.findings[0].path
+
+    def test_trace_and_workloads_are_restricted(self, tmp_path):
+        # The reference access streams feed every figure: the generators
+        # are held to the deterministic-core rules too.
+        bad = "import time\nt = time.time()\n"
+        for sub in ("trace", "workloads"):
+            (tmp_path / sub).mkdir()
+            (tmp_path / sub / "mod.py").write_text(bad)
+        report = lint_tree(tmp_path)
+        assert sorted(f.rule for f in report.findings) == ["DET001", "DET001"]
 
     def test_mutation_fixture_caught_with_exact_location(self, tmp_path):
         """The ISSUE's mutation test: inject a time.time() call into a

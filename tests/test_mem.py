@@ -10,7 +10,7 @@ from repro.common.config import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.mem.address import AddressSpace
 from repro.mem.setassoc import INVALID, SetAssocArray
-from repro.mem.shadow import ShadowTags
+from repro.mem.shadow import ShadowMemory, ShadowTags
 
 
 class TestAddressSpace:
@@ -175,9 +175,32 @@ class TestShadowTags:
         assert 5 not in sh
         sh.remove(5)  # idempotent
 
+    def test_remove_absent_line_is_a_noop(self):
+        sh = ShadowTags(2)
+        sh.access(1)
+        sh.remove(7)  # never inserted
+        assert 1 in sh and len(sh) == 1
+
+    def test_reaccess_after_removal_is_a_miss(self):
+        sh = ShadowTags(4)
+        sh.access(5)
+        sh.remove(5)
+        assert sh.access(5) is False  # invalidated: cold again
+        assert sh.access(5) is True
+
+    def test_removal_frees_capacity(self):
+        sh = ShadowTags(2)
+        sh.access(1)
+        sh.access(2)
+        sh.remove(1)
+        sh.access(3)  # fits in the freed slot: 2 must survive
+        assert 2 in sh and 3 in sh and len(sh) == 2
+
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ShadowTags(0)
+        with pytest.raises(ValueError):
+            ShadowTags(-1)
 
     @given(st.lists(st.integers(0, 20), max_size=300), st.integers(1, 8))
     @settings(max_examples=50, deadline=None)
@@ -203,3 +226,28 @@ class TestShadowTags:
             ref.append(line)
             if len(ref) > cap:
                 ref.pop(0)
+
+
+class TestShadowMemory:
+    def test_untouched_line_is_version_zero(self):
+        golden = ShadowMemory()
+        assert golden.version(3) == 0
+        assert golden.last(3) == (0, -1, 0)
+        assert 3 not in golden and len(golden) == 0
+
+    def test_commit_bumps_version_and_records_writer(self):
+        golden = ShadowMemory()
+        assert golden.commit(3, proc=2, t=100) == 1
+        assert golden.commit(3, proc=5, t=200) == 2
+        assert golden.version(3) == 2
+        assert golden.last(3) == (2, 5, 200)
+        assert 3 in golden and len(golden) == 1
+
+    def test_lines_are_independent(self):
+        golden = ShadowMemory()
+        golden.commit(1, proc=0, t=10)
+        golden.commit(1, proc=0, t=20)
+        golden.commit(2, proc=1, t=30)
+        assert golden.version(1) == 2
+        assert golden.version(2) == 1
+        assert len(golden) == 2

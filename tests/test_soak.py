@@ -13,11 +13,16 @@ MACHINES = ["coma", "hcoma", "numa", "uma"]
 
 
 @pytest.mark.parametrize("machine", MACHINES)
-def test_lock_heavy_workload_on_every_machine(machine):
+def test_lock_heavy_workload_on_every_machine(machine, sanitizer):
     sim = build_simulation(
         RunSpec(workload="cholesky", machine=machine, scale=0.3,
                 memory_pressure=0.75)
     )
+    if machine in ("coma", "hcoma"):
+        # The attraction-memory machines emit the full coherence event
+        # stream: run them under the sanitizer (races, stale values,
+        # ping-pong) on top of the structural consistency checks.
+        sanitizer(sim)
     sim.check_every = 10_000
     res = sim.run()
     sim.machine.check_consistency()
