@@ -1,0 +1,71 @@
+"""Serial vs parallel sweep wall time (the scaling point of the BENCH
+trajectory): one cold-cache Figure-2 slice run serially and again over
+the process pool, both against fresh cache directories so neither leg
+gets free hits.
+
+The speedup is recorded, not asserted — CI runners and laptops differ in
+core count — but the parallel leg's results must stay byte-identical to
+the serial leg's, and the merged cache summary must add up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import write_result
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import cache_stats, clear_memory_cache, reset_cache_stats
+
+#: A representative slice: two paper kernels plus two synthetics.
+SLICE = ["fft", "radix", "synth_private", "synth_migratory"]
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _cold_run(cache_dir, jobs: int, scale: float):
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    clear_memory_cache()
+    reset_cache_stats()
+    t0 = time.perf_counter()
+    rows = run_figure2(scale=scale, workloads=SLICE, jobs=jobs)
+    return rows, time.perf_counter() - t0, cache_stats()
+
+
+def test_parallel_speedup(bench_scale, results_dir, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    old_cache = os.environ.get("REPRO_CACHE_DIR")
+    scale = min(bench_scale, 0.5)
+    try:
+        serial_rows, serial_s, serial_stats = _cold_run(
+            tmp_path / "serial", 1, scale
+        )
+        parallel_rows, parallel_s, parallel_stats = _cold_run(
+            tmp_path / "parallel", JOBS, scale
+        )
+    finally:
+        if old_cache is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache
+        clear_memory_cache()
+        reset_cache_stats()
+
+    assert json.dumps([r.__dict__ for r in serial_rows], sort_keys=True) == \
+        json.dumps([r.__dict__ for r in parallel_rows], sort_keys=True), \
+        "parallel sweep must be byte-identical to the serial path"
+    n_points = 3 * len(SLICE)
+    assert sum(serial_stats.values()) == n_points
+    assert sum(parallel_stats.values()) == n_points, \
+        "merged worker stats must cover every sweep point"
+
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    text = "\n".join([
+        f"parallel sweep engine: cold Figure-2 slice {SLICE} at scale {scale}",
+        f"  serial          {serial_s:8.2f} s   {serial_stats}",
+        f"  --jobs {JOBS:<2d}       {parallel_s:8.2f} s   {parallel_stats}",
+        f"  speedup         {speedup:8.2f}x on {os.cpu_count()} core(s)",
+    ])
+    write_result(results_dir, "parallel_speedup.txt", text)
+    print()
+    print(text)

@@ -4,6 +4,7 @@ Examples::
 
     coma-sim run fft --procs-per-node 4 --memory-pressure 0.8125
     coma-sim figure 2
+    coma-sim figure 3 --jobs 4
     coma-sim figure 5 --scale 0.5
     coma-sim table 1
     coma-sim list
@@ -110,16 +111,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale, "jobs": args.jobs}
+    if args.workloads:
+        kwargs["workloads"] = args.workloads
     if args.number == 2:
         from repro.experiments.figure2 import format_figure2, run_figure2
 
-        print(format_figure2(run_figure2(scale=args.scale)))
+        print(format_figure2(run_figure2(**kwargs)))
     elif args.number == 3:
         from repro.experiments.figure3 import format_traffic, run_figure3
 
         print(
             format_traffic(
-                run_figure3(scale=args.scale),
+                run_figure3(**kwargs),
                 "Figure 3: traffic for 1 and 4-processor nodes at "
                 "6/50/75/81/87% MP",
             )
@@ -127,11 +131,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     elif args.number == 4:
         from repro.experiments.figure4 import format_figure4, run_figure4
 
-        print(format_figure4(run_figure4(scale=args.scale)))
+        print(format_figure4(run_figure4(**kwargs)))
     elif args.number == 5:
         from repro.experiments.figure5 import format_figure5, run_figure5
 
-        print(format_figure5(run_figure5(scale=args.scale)))
+        print(format_figure5(run_figure5(**kwargs)))
     else:
         print(f"no figure {args.number} in the paper", file=sys.stderr)
         return 2
@@ -151,7 +155,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         return 2
     from repro.experiments.table1 import format_table1, run_table1
 
-    print(format_table1(run_table1(scale=args.scale)))
+    print(format_table1(run_table1(scale=args.scale, jobs=args.jobs)))
     _print_cache_summary()
     return 0
 
@@ -317,22 +321,22 @@ def _cmd_export(args: argparse.Namespace) -> int:
     if args.artifact == "figure2":
         from repro.experiments.figure2 import run_figure2
 
-        rows = run_figure2(scale=args.scale)
+        rows = run_figure2(scale=args.scale, jobs=args.jobs)
         out = ex.figure2_json(rows) if args.format == "json" else ex.figure2_csv(rows)
     elif args.artifact == "figure3":
         from repro.experiments.figure3 import run_figure3
 
-        sweep = run_figure3(scale=args.scale)
+        sweep = run_figure3(scale=args.scale, jobs=args.jobs)
         out = ex.traffic_json(sweep) if args.format == "json" else ex.traffic_csv(sweep)
     elif args.artifact == "figure4":
         from repro.experiments.figure4 import run_figure4
 
-        sweep = run_figure4(scale=args.scale)
+        sweep = run_figure4(scale=args.scale, jobs=args.jobs)
         out = ex.traffic_json(sweep) if args.format == "json" else ex.traffic_csv(sweep)
     elif args.artifact == "figure5":
         from repro.experiments.figure5 import run_figure5
 
-        bars = run_figure5(scale=args.scale)
+        bars = run_figure5(scale=args.scale, jobs=args.jobs)
         out = ex.figure5_json(bars) if args.format == "json" else ex.figure5_csv(bars)
     elif args.artifact == "table1":
         from repro.experiments.table1 import run_table1
@@ -340,7 +344,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         if args.format == "json":
             print("table1 supports csv only", file=sys.stderr)
             return 2
-        out = ex.table1_csv(run_table1(scale=args.scale))
+        out = ex.table1_csv(run_table1(scale=args.scale, jobs=args.jobs))
     else:  # pragma: no cover - argparse restricts choices
         return 2
     if args.provenance:
@@ -403,14 +407,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-cache", action="store_true")
     run.set_defaults(func=_cmd_run)
 
+    def _jobs_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--jobs", "-j", type=int, default=1, metavar="N",
+            help="worker processes for the sweep (1 = serial, the "
+            "default; -1 = one per CPU)",
+        )
+
     fig = sub.add_parser("figure", help="reproduce a paper figure")
     fig.add_argument("number", type=int)
     fig.add_argument("--scale", type=float, default=1.0)
+    fig.add_argument("--workloads", nargs="*", metavar="APP",
+                     choices=workload_names(),
+                     help="restrict the sweep to these applications")
+    _jobs_flag(fig)
     fig.set_defaults(func=_cmd_figure)
 
     tab = sub.add_parser("table", help="reproduce a paper table")
     tab.add_argument("number", type=int)
     tab.add_argument("--scale", type=float, default=1.0)
+    _jobs_flag(tab)
     tab.set_defaults(func=_cmd_table)
 
     ls = sub.add_parser("list", help="list available workloads")
@@ -458,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--format", choices=["csv", "json"], default="csv")
     exp.add_argument("--scale", type=float, default=1.0)
+    _jobs_flag(exp)
     exp.add_argument("--provenance", action="store_true",
                      help="stamp the export with code version / git revision")
     exp.set_defaults(func=_cmd_export)

@@ -1,5 +1,19 @@
-"""Experiment harness: one module per paper table/figure plus ablations."""
+"""Experiment harness: one module per paper table/figure plus ablations,
+and a process-pool sweep engine (:mod:`repro.experiments.parallel`)."""
 
-from repro.experiments.runner import RunSpec, build_simulation, run_spec, clear_memory_cache
+from repro.experiments.parallel import pool_map, run_specs
+from repro.experiments.runner import (
+    RunSpec,
+    build_simulation,
+    clear_memory_cache,
+    run_spec,
+)
 
-__all__ = ["RunSpec", "build_simulation", "run_spec", "clear_memory_cache"]
+__all__ = [
+    "RunSpec",
+    "build_simulation",
+    "run_spec",
+    "run_specs",
+    "pool_map",
+    "clear_memory_cache",
+]

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analytic.replication import paper_thresholds
-from repro.experiments.runner import RunSpec, run_spec
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import RunSpec
 from repro.workloads.registry import paper_workloads
 
 #: The bandwidth tiers of section 4.3: (label, dram factor, nc factor).
@@ -49,27 +50,33 @@ def run_bandwidth_ablation(
     scale: float = 1.0,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[BandwidthRow]:
-    rows = []
-    for app in workloads or paper_workloads():
-        for label, dram, nc in BANDWIDTH_TIERS:
-            times = {}
-            for ppn in (1, 4):
-                r = run_spec(
-                    RunSpec(
-                        workload=app,
-                        procs_per_node=ppn,
-                        memory_pressure=memory_pressure,
-                        dram_bandwidth_factor=dram,
-                        nc_bandwidth_factor=nc,
-                        scale=scale,
-                        seed=seed,
-                    ),
-                    use_cache=use_cache,
-                )
-                times[ppn] = r.elapsed_ns
-            rows.append(BandwidthRow(app, label, times[1], times[4]))
-    return rows
+    apps = list(workloads or paper_workloads())
+    meta = [
+        (app, label)
+        for app in apps
+        for label, _, _ in BANDWIDTH_TIERS
+    ]
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=ppn,
+            memory_pressure=memory_pressure,
+            dram_bandwidth_factor=dram,
+            nc_bandwidth_factor=nc,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for _, dram, nc in BANDWIDTH_TIERS
+        for ppn in (1, 4)
+    ]
+    results = iter(run_specs(specs, jobs=jobs, use_cache=use_cache))
+    return [
+        BandwidthRow(app, label, next(results).elapsed_ns, next(results).elapsed_ns)
+        for app, label in meta
+    ]
 
 
 @dataclass(frozen=True)
@@ -90,28 +97,30 @@ def run_bus_ablation(
     scale: float = 1.0,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[BusRow]:
-    apps = workloads or ["barnes", "fft", "lu_noncontig"]
+    apps = list(workloads or ["barnes", "fft", "lu_noncontig"])
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=ppn,
+            memory_pressure=memory_pressure,
+            bus_bandwidth_factor=bus_factor,
+            dram_bandwidth_factor=2.0,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for bus_factor in (1.0, 0.5)
+        for ppn in (1, 4)
+    ]
+    results = iter(run_specs(specs, jobs=jobs, use_cache=use_cache))
     rows = []
     for app in apps:
         ratio = {}
         for bus_factor in (1.0, 0.5):
-            times = {}
-            for ppn in (1, 4):
-                r = run_spec(
-                    RunSpec(
-                        workload=app,
-                        procs_per_node=ppn,
-                        memory_pressure=memory_pressure,
-                        bus_bandwidth_factor=bus_factor,
-                        dram_bandwidth_factor=2.0,
-                        scale=scale,
-                        seed=seed,
-                    ),
-                    use_cache=use_cache,
-                )
-                times[ppn] = r.elapsed_ns
-            ratio[bus_factor] = times[4] / times[1] if times[1] else 1.0
+            t1, t4 = next(results).elapsed_ns, next(results).elapsed_ns
+            ratio[bus_factor] = t4 / t1 if t1 else 1.0
         rows.append(BusRow(app, ratio[1.0], ratio[0.5]))
     return rows
 
@@ -135,29 +144,31 @@ def run_inclusion_ablation(
     scale: float = 1.0,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[InclusionRow]:
     """Section 4.2's pointer: "A way to overcome this limitation is to
     break the inclusion in the cache hierarchy" — compare traffic with the
     inclusive (default) and non-inclusive hierarchies at 87.5 % MP."""
-    apps = workloads or ["barnes", "radiosity", "volrend"]
-    rows = []
-    for app in apps:
-        traffic = {}
-        for inclusive in (True, False):
-            r = run_spec(
-                RunSpec(
-                    workload=app,
-                    procs_per_node=4,
-                    memory_pressure=memory_pressure,
-                    inclusive=inclusive,
-                    scale=scale,
-                    seed=seed,
-                ),
-                use_cache=use_cache,
-            )
-            traffic[inclusive] = r.total_traffic_bytes
-        rows.append(InclusionRow(app, traffic[True], traffic[False]))
-    return rows
+    apps = list(workloads or ["barnes", "radiosity", "volrend"])
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=4,
+            memory_pressure=memory_pressure,
+            inclusive=inclusive,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for inclusive in (True, False)
+    ]
+    results = iter(run_specs(specs, jobs=jobs, use_cache=use_cache))
+    return [
+        InclusionRow(
+            app, next(results).total_traffic_bytes, next(results).total_traffic_bytes
+        )
+        for app in apps
+    ]
 
 
 @dataclass(frozen=True)
@@ -186,37 +197,42 @@ def run_replacement_policy_ablation(
     scale: float = 1.0,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[PolicyRow]:
     """Compare the paper's replacement rules (Shared victims first,
     Invalid-before-Shared receivers) against state-blind variants at high
     memory pressure, where replacement behaviour dominates (section 2:
     "The replacement behavior is a key factor")."""
-    apps = workloads or ["barnes", "cholesky", "radix"]
-    rows = []
-    for app in apps:
-        for label, victim, receiver in REPLACEMENT_POLICIES:
-            r = run_spec(
-                RunSpec(
-                    workload=app,
-                    procs_per_node=4,
-                    memory_pressure=memory_pressure,
-                    am_victim_policy=victim,
-                    replacement_receiver_policy=receiver,
-                    scale=scale,
-                    seed=seed,
-                ),
-                use_cache=use_cache,
-            )
-            rows.append(
-                PolicyRow(
-                    app,
-                    label,
-                    r.total_traffic_bytes,
-                    r.counters["replacements"],
-                    r.elapsed_ns,
-                )
-            )
-    return rows
+    apps = list(workloads or ["barnes", "cholesky", "radix"])
+    meta = [
+        (app, label)
+        for app in apps
+        for label, _, _ in REPLACEMENT_POLICIES
+    ]
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=4,
+            memory_pressure=memory_pressure,
+            am_victim_policy=victim,
+            replacement_receiver_policy=receiver,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for _, victim, receiver in REPLACEMENT_POLICIES
+    ]
+    results = run_specs(specs, jobs=jobs, use_cache=use_cache)
+    return [
+        PolicyRow(
+            app,
+            label,
+            r.total_traffic_bytes,
+            r.counters["replacements"],
+            r.elapsed_ns,
+        )
+        for (app, label), r in zip(meta, results)
+    ]
 
 
 @dataclass(frozen=True)
@@ -241,16 +257,23 @@ def run_consistency_ablation(
     scale: float = 1.0,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[ConsistencyRow]:
-    apps = workloads or ["radix", "ocean_noncontig", "fft"]
-    rows = []
+    apps = list(workloads or ["radix", "ocean_noncontig", "fft"])
+    specs = []
     for app in apps:
         base = RunSpec(
             workload=app, memory_pressure=memory_pressure, scale=scale, seed=seed
         )
-        rc = run_spec(base, use_cache=use_cache)
-        sc = run_spec(base.with_(consistency="sc"), use_cache=use_cache)
-        co = run_spec(base.with_(write_buffer_coalescing=True), use_cache=use_cache)
+        specs += [
+            base,
+            base.with_(consistency="sc"),
+            base.with_(write_buffer_coalescing=True),
+        ]
+    results = iter(run_specs(specs, jobs=jobs, use_cache=use_cache))
+    rows = []
+    for app in apps:
+        rc, sc, co = next(results), next(results), next(results)
         rows.append(
             ConsistencyRow(
                 app,
@@ -283,32 +306,34 @@ def run_numa_comparison(
     scale: float = 1.0,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[NumaRow]:
     """COMA vs CC-NUMA on the same workloads (section 2 context: COMA
     converts repeated remote misses into attraction-memory hits)."""
-    apps = workloads or ["fft", "ocean_noncontig", "radix"]
+    apps = list(workloads or ["fft", "ocean_noncontig", "radix"])
+    specs = [
+        RunSpec(
+            workload=app,
+            machine=machine,
+            procs_per_node=1,
+            memory_pressure=memory_pressure,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for machine in ("coma", "numa")
+    ]
+    results = iter(run_specs(specs, jobs=jobs, use_cache=use_cache))
     rows = []
     for app in apps:
-        res = {}
-        for machine in ("coma", "numa"):
-            res[machine] = run_spec(
-                RunSpec(
-                    workload=app,
-                    machine=machine,
-                    procs_per_node=1,
-                    memory_pressure=memory_pressure,
-                    scale=scale,
-                    seed=seed,
-                ),
-                use_cache=use_cache,
-            )
+        coma, numa = next(results), next(results)
         rows.append(
             NumaRow(
                 app,
-                res["coma"].total_traffic_bytes,
-                res["numa"].total_traffic_bytes,
-                res["coma"].elapsed_ns,
-                res["numa"].elapsed_ns,
+                coma.total_traffic_bytes,
+                numa.total_traffic_bytes,
+                coma.elapsed_ns,
+                numa.elapsed_ns,
             )
         )
     return rows

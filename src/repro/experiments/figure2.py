@@ -14,10 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import bar, fmt_pct
-from repro.experiments.runner import RunSpec, run_spec
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import RunSpec
 from repro.workloads.registry import paper_workloads
 
 LOW_PRESSURE = 1 / 16
+
+CLUSTERINGS = (1, 2, 4)
 
 
 @dataclass(frozen=True)
@@ -41,19 +44,24 @@ def run_figure2(
     workloads: list[str] | None = None,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[Figure2Row]:
+    apps = list(workloads or paper_workloads())
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=ppn,
+            memory_pressure=LOW_PRESSURE,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for ppn in CLUSTERINGS
+    ]
+    results = iter(run_specs(specs, jobs=jobs, use_cache=use_cache))
     rows = []
-    for app in workloads or paper_workloads():
-        rnmr = {}
-        for ppn in (1, 2, 4):
-            spec = RunSpec(
-                workload=app,
-                procs_per_node=ppn,
-                memory_pressure=LOW_PRESSURE,
-                scale=scale,
-                seed=seed,
-            )
-            rnmr[ppn] = run_spec(spec, use_cache=use_cache).read_node_miss_rate
+    for app in apps:
+        rnmr = {ppn: next(results).read_node_miss_rate for ppn in CLUSTERINGS}
         rows.append(Figure2Row(app, rnmr[1], rnmr[2], rnmr[4]))
     return rows
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.common import FIGURE3_APPS, MP_SWEEP, stacked_bar
-from repro.experiments.runner import RunSpec, run_spec
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import RunSpec
 
 
 @dataclass(frozen=True)
@@ -61,30 +62,29 @@ def run_traffic_sweep(
     use_cache: bool = True,
     seed: int = 1997,
     assoc_points: list[tuple[int, str, int]] | None = None,
+    jobs: int | None = None,
 ) -> TrafficSweep:
     """Sweep (app x {1,4} procs/node x 5 pressures) at 4-way associativity,
     plus any extra ``(ppn, mp_label, assoc)`` points requested."""
-    sweep = TrafficSweep()
     mp_by_label = dict(MP_SWEEP)
+    meta: list[tuple[str, int, str, int]] = []
+    specs: list[RunSpec] = []
     for app in apps:
         for ppn in (1, 4):
             for label, mp in MP_SWEEP:
-                r = run_spec(
+                specs.append(
                     RunSpec(
                         workload=app,
                         procs_per_node=ppn,
                         memory_pressure=mp,
                         scale=scale,
                         seed=seed,
-                    ),
-                    use_cache=use_cache,
+                    )
                 )
-                sweep.points.append(
-                    TrafficPoint(app, ppn, label, 4, dict(r.traffic_bytes))
-                )
+                meta.append((app, ppn, label, 4))
         if assoc_points:
             for ppn, label, assoc in assoc_points:
-                r = run_spec(
+                specs.append(
                     RunSpec(
                         workload=app,
                         procs_per_node=ppn,
@@ -92,17 +92,32 @@ def run_traffic_sweep(
                         am_assoc=assoc,
                         scale=scale,
                         seed=seed,
-                    ),
-                    use_cache=use_cache,
+                    )
                 )
-                sweep.points.append(
-                    TrafficPoint(app, ppn, label, assoc, dict(r.traffic_bytes))
-                )
+                meta.append((app, ppn, label, assoc))
+    results = run_specs(specs, jobs=jobs, use_cache=use_cache)
+    sweep = TrafficSweep()
+    for (app, ppn, label, assoc), r in zip(meta, results):
+        sweep.points.append(
+            TrafficPoint(app, ppn, label, assoc, dict(r.traffic_bytes))
+        )
     return sweep
 
 
-def run_figure3(scale: float = 1.0, use_cache: bool = True, seed: int = 1997) -> TrafficSweep:
-    return run_traffic_sweep(FIGURE3_APPS, scale=scale, use_cache=use_cache, seed=seed)
+def run_figure3(
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+    workloads: list[str] | None = None,
+    jobs: int | None = None,
+) -> TrafficSweep:
+    return run_traffic_sweep(
+        workloads or FIGURE3_APPS,
+        scale=scale,
+        use_cache=use_cache,
+        seed=seed,
+        jobs=jobs,
+    )
 
 
 def format_traffic(sweep: TrafficSweep, title: str) -> str:

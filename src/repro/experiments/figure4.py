@@ -12,20 +12,28 @@ from dataclasses import dataclass
 
 from repro.experiments.common import FIGURE4_APPS
 from repro.experiments.figure3 import TrafficSweep, format_traffic, run_traffic_sweep
-from repro.experiments.runner import RunSpec, run_spec
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import RunSpec
 
 HIGH_MP_LABEL = "87%"
 
 
-def run_figure4(scale: float = 1.0, use_cache: bool = True, seed: int = 1997) -> TrafficSweep:
+def run_figure4(
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+    workloads: list[str] | None = None,
+    jobs: int | None = None,
+) -> TrafficSweep:
     """The Figure-3 sweep plus 8-way AM bars at 87.5 % MP for both
     clustering degrees."""
     return run_traffic_sweep(
-        FIGURE4_APPS,
+        workloads or FIGURE4_APPS,
         scale=scale,
         use_cache=use_cache,
         seed=seed,
         assoc_points=[(1, HIGH_MP_LABEL, 8), (4, HIGH_MP_LABEL, 8)],
+        jobs=jobs,
     )
 
 
@@ -52,24 +60,28 @@ def conflict_summaries(sweep: TrafficSweep, ppn: int = 4) -> list[ConflictSummar
 
 
 def conflict_miss_fractions(
-    scale: float = 1.0, use_cache: bool = True, seed: int = 1997
+    scale: float = 1.0,
+    use_cache: bool = True,
+    seed: int = 1997,
+    jobs: int | None = None,
 ) -> dict[str, float]:
     """Fraction of read node misses classified as conflict misses at
     87.5 % MP with 4-way clustering (the paper's diagnosis)."""
-    out = {}
-    for app in FIGURE4_APPS:
-        r = run_spec(
-            RunSpec(
-                workload=app,
-                procs_per_node=4,
-                memory_pressure=14 / 16,
-                scale=scale,
-                seed=seed,
-            ),
-            use_cache=use_cache,
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=4,
+            memory_pressure=14 / 16,
+            scale=scale,
+            seed=seed,
         )
-        out[app] = r.miss_class_fractions["conflict"]
-    return out
+        for app in FIGURE4_APPS
+    ]
+    results = run_specs(specs, jobs=jobs, use_cache=use_cache)
+    return {
+        app: r.miss_class_fractions["conflict"]
+        for app, r in zip(FIGURE4_APPS, results)
+    }
 
 
 def format_figure4(sweep: TrafficSweep) -> str:

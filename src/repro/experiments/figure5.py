@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import stacked_bar
-from repro.experiments.runner import RunSpec, run_spec
+from repro.experiments.parallel import run_specs
+from repro.experiments.runner import RunSpec
 from repro.stats.metrics import time_breakdown_figure5
 from repro.workloads.registry import paper_workloads
 
@@ -45,23 +46,27 @@ def run_figure5(
     workloads: list[str] | None = None,
     use_cache: bool = True,
     seed: int = 1997,
+    jobs: int | None = None,
 ) -> list[Figure5Bar]:
-    bars = []
-    for app in workloads or paper_workloads():
-        for label, ppn, mp in BARS:
-            r = run_spec(
-                RunSpec(
-                    workload=app,
-                    procs_per_node=ppn,
-                    memory_pressure=mp,
-                    dram_bandwidth_factor=DRAM_FACTOR,
-                    scale=scale,
-                    seed=seed,
-                ),
-                use_cache=use_cache,
-            )
-            bars.append(Figure5Bar(app, label, time_breakdown_figure5(r)))
-    return bars
+    apps = list(workloads or paper_workloads())
+    meta = [(app, label) for app in apps for label, _, _ in BARS]
+    specs = [
+        RunSpec(
+            workload=app,
+            procs_per_node=ppn,
+            memory_pressure=mp,
+            dram_bandwidth_factor=DRAM_FACTOR,
+            scale=scale,
+            seed=seed,
+        )
+        for app in apps
+        for _, ppn, mp in BARS
+    ]
+    results = run_specs(specs, jobs=jobs, use_cache=use_cache)
+    return [
+        Figure5Bar(app, label, time_breakdown_figure5(r))
+        for (app, label), r in zip(meta, results)
+    ]
 
 
 def clustering_recovers(bars: list[Figure5Bar], app: str) -> bool:

@@ -1,0 +1,156 @@
+"""Process-pool sweep engine for the figure/table pipeline.
+
+Every figure and table in the reproduction is a sweep of independent
+:class:`~repro.experiments.runner.RunSpec` points — each (app x
+clustering x memory-pressure) simulation is embarrassingly parallel.
+:func:`run_specs` fans those points out to worker processes, streams
+completed results back as they finish, and merges each worker's cache
+hit/miss tally into the parent process so
+:func:`~repro.experiments.runner.format_cache_summary` stays truthful
+under parallelism.
+
+Design notes:
+
+* ``jobs=None``/``0``/``1`` takes the exact serial path (a plain
+  ``run_spec`` loop), so goldens and determinism are untouched by
+  default; ``jobs=-1`` means "one worker per CPU".
+* Workers ship results back as ``SimulationResult.to_dict()`` payloads —
+  the same representation the disk cache stores — so the parallel path
+  returns byte-identical results to the serial one.
+* Points that share a cache key are submitted once and fanned back out
+  to every duplicate position (counted as memory hits, exactly what the
+  serial loop would have recorded), so two workers never race to
+  simulate the same key from one sweep.
+* The disk cache underneath (:mod:`repro.experiments.runner`) publishes
+  entries atomically and double-checks reads after a miss, so workers
+  from *different* sweeps racing on one key converge on a single intact
+  entry too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.experiments import runner
+from repro.experiments.runner import RunSpec
+from repro.sim.results import SimulationResult
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Preferred start methods: fork shares the parent's warm memory cache
+#: (and imported modules) for free on POSIX; spawn is the fallback.
+_START_METHODS = ("fork", "spawn")
+
+#: Callback invoked as each point completes: (index, spec, result).
+OnResult = Callable[[int, RunSpec, SimulationResult], None]
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    available = multiprocessing.get_all_start_methods()
+    for name in _START_METHODS:
+        if name in available:
+            return multiprocessing.get_context(name)
+    return multiprocessing.get_context()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0``/``1`` mean serial,
+    negative means one worker per CPU."""
+    if jobs is None or jobs in (0, 1):
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _run_one(task: tuple) -> tuple:
+    """Worker body: run one spec, report the result and the stats delta.
+
+    Runs in the pool worker process; the delta (stats after minus stats
+    before) isolates this task's hits/misses even though the worker's
+    process-global tally accumulates across the tasks it serves.
+    """
+    index, spec, use_cache = task
+    before = runner.cache_stats()
+    result = runner.run_spec(spec, use_cache=use_cache)
+    after = runner.cache_stats()
+    delta = {k: after[k] - before[k] for k in after}
+    return index, result.to_dict(), delta
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    on_result: Optional[OnResult] = None,
+) -> list[SimulationResult]:
+    """Run a sweep of specs, optionally over a process pool.
+
+    Returns results in spec order.  ``on_result(index, spec, result)``
+    is invoked as each point completes (completion order under
+    parallelism, spec order serially) — figure modules use it for
+    progress streaming.
+    """
+    specs = list(specs)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(specs) <= 1:
+        results = []
+        for i, spec in enumerate(specs):
+            r = runner.run_spec(spec, use_cache=use_cache)
+            if on_result is not None:
+                on_result(i, spec, r)
+            results.append(r)
+        return results
+
+    # Submit each distinct cache key once; duplicate positions are
+    # served from the fanned-in copy (a memory hit, as in the serial
+    # loop).  Without the cache there is no key identity to exploit.
+    keys = [s.key() for s in specs]
+    first_index: dict[str, int] = {}
+    duplicates: dict[int, list[int]] = {}
+    tasks: list[tuple] = []
+    for i, k in enumerate(keys):
+        if use_cache and k in first_index:
+            duplicates.setdefault(first_index[k], []).append(i)
+        else:
+            first_index.setdefault(k, i)
+            tasks.append((i, specs[i], use_cache))
+
+    results: list[Optional[SimulationResult]] = [None] * len(specs)
+    ctx = _context()
+    with ctx.Pool(processes=min(n_jobs, len(tasks))) as pool:
+        for index, payload, delta in pool.imap_unordered(
+            _run_one, tasks, chunksize=1
+        ):
+            runner.merge_cache_stats(delta)
+            result = SimulationResult.from_dict(payload)
+            if use_cache:
+                runner.memoize_result(keys[index], result)
+            for i in (index, *duplicates.get(index, ())):
+                results[i] = result
+                if i != index:
+                    runner.merge_cache_stats({"memory_hits": 1})
+                if on_result is not None:
+                    on_result(i, specs[i], result)
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def pool_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: Optional[int] = None
+) -> list[R]:
+    """Order-preserving map over a process pool (serial when ``jobs<=1``).
+
+    For sweep work that isn't a RunSpec — Table 1's working-set
+    measurements, for instance.  ``fn`` must be a picklable module-level
+    callable and ``items`` picklable values.
+    """
+    items = list(items)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    ctx = _context()
+    with ctx.Pool(processes=min(n_jobs, len(items))) as pool:
+        return pool.map(fn, items, chunksize=1)

@@ -7,6 +7,14 @@ results are cached — in memory for the process, and as JSON files under
 re-simulating unchanged points.  Set ``REPRO_CACHE_DIR`` to relocate the
 disk cache or ``REPRO_NO_DISK_CACHE=1`` to disable it.
 
+The disk cache is safe for concurrent writers (see
+:mod:`repro.experiments.parallel`): entries and their manifest sidecars
+are published atomically (write-to-temp + ``os.replace``), the manifest
+is written *before* the result so a result file never exists without
+provenance, reads retry once on transient ``OSError`` and re-check the
+disk after a miss so racing workers converge on one entry, and a reader
+can never observe torn JSON.
+
 Every simulated (cache-miss) result also gets a ``<key>.manifest.json``
 sidecar recording its provenance — spec, cache version, git revision,
 wall time — so a figure regenerated months later can say exactly which
@@ -21,6 +29,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass, replace
 from datetime import datetime, timezone
 from fractions import Fraction
@@ -38,7 +47,9 @@ from repro.sync.primitives import SyncSpace
 from repro.workloads.registry import get_workload
 
 #: Bump when simulator semantics change, invalidating old cached results.
-CACHE_VERSION = 7
+#: v8: cache keys canonicalize memory_pressure through the same Fraction
+#: the simulation consumes, so float spellings of one pressure share keys.
+CACHE_VERSION = 8
 
 _memory_cache: dict[str, SimulationResult] = {}
 
@@ -56,6 +67,23 @@ def reset_cache_stats() -> None:
         _cache_stats[k] = 0
 
 
+def merge_cache_stats(delta: dict) -> None:
+    """Fold another process's hit/miss tally into this one.
+
+    The parallel sweep engine collects each worker's per-task stats delta
+    and merges it here, so :func:`format_cache_summary` stays truthful
+    when a sweep fans out over a process pool.
+    """
+    for k in _cache_stats:
+        _cache_stats[k] += int(delta.get(k, 0))
+
+
+def memoize_result(key: str, result: SimulationResult) -> None:
+    """Seed the in-process memory cache with a result computed elsewhere
+    (the parallel engine fans worker results back in through this)."""
+    _memory_cache[key] = result
+
+
 def format_cache_summary() -> str:
     """One-line human summary, printed after figure/table sweeps."""
     s = _cache_stats
@@ -64,6 +92,11 @@ def format_cache_summary() -> str:
         f"cache: {total} runs — {s['memory_hits']} memory hits, "
         f"{s['disk_hits']} disk hits, {s['misses']} simulated"
     )
+
+
+def _pressure_fraction(mp: float) -> Fraction:
+    """Express a float memory pressure exactly enough (k/16-style values)."""
+    return Fraction(mp).limit_denominator(4096)
 
 
 @dataclass(frozen=True)
@@ -94,18 +127,16 @@ class RunSpec:
     write_buffer_coalescing: bool = False
 
     def key(self) -> str:
-        payload = json.dumps(
-            {"v": CACHE_VERSION, **asdict(self)}, sort_keys=True
-        )
+        fields = asdict(self)
+        # The simulation consumes _pressure_fraction(mp), not the raw
+        # float: hash the same Fraction so two float spellings of one
+        # k/16 pressure (0.3 vs 0.1 + 0.2) share a single cache entry.
+        fields["memory_pressure"] = str(_pressure_fraction(self.memory_pressure))
+        payload = json.dumps({"v": CACHE_VERSION, **fields}, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
     def with_(self, **kwargs) -> "RunSpec":
         return replace(self, **kwargs)
-
-
-def _pressure_fraction(mp: float) -> Fraction:
-    """Express a float memory pressure exactly enough (k/16-style values)."""
-    return Fraction(mp).limit_denominator(4096)
 
 
 def build_simulation(spec: RunSpec) -> Simulation:
@@ -170,16 +201,94 @@ def build_simulation(spec: RunSpec) -> Simulation:
 # caching
 # ----------------------------------------------------------------------
 
+#: Resolved cache directories, keyed by the env-var pair that produced
+#: them, so run_spec() doesn't re-run mkdir on every call and an
+#: unusable directory warns once instead of silently degrading forever.
+_cache_dir_memo: dict[tuple[str, str], Optional[Path]] = {}
+
+
+def reset_cache_dir_memo() -> None:
+    """Forget resolved cache directories (tests relocate them a lot)."""
+    _cache_dir_memo.clear()
+
+
 def _cache_dir() -> Optional[Path]:
-    if os.environ.get("REPRO_NO_DISK_CACHE"):
-        return None
+    no_disk = os.environ.get("REPRO_NO_DISK_CACHE", "")
     root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    path = Path(root)
-    try:
-        path.mkdir(parents=True, exist_ok=True)
-    except OSError:
-        return None
+    memo_key = (no_disk, root)
+    if memo_key in _cache_dir_memo:
+        return _cache_dir_memo[memo_key]
+    path: Optional[Path] = None
+    if not no_disk:
+        path = Path(root)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            warnings.warn(
+                f"disk cache disabled: cannot create {path} ({exc}); "
+                "results of this sweep will not be cached on disk",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            path = None
+    _cache_dir_memo[memo_key] = path
     return path
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically.
+
+    The temp file lives in the same directory (``os.replace`` must not
+    cross filesystems) and is named per-pid so concurrent writers never
+    collide; a reader either sees the old entry or the complete new one,
+    never a torn prefix.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _publish_text(path: Path, text: str) -> bool:
+    """Atomic write with one retry on transient OSError (cache writes
+    are best-effort: a failed publication must never fail the run)."""
+    try:
+        _atomic_write_text(path, text)
+        return True
+    except OSError:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(path, text)
+            return True
+        except OSError:
+            return False
+
+
+def _read_disk(cache_dir: Path, key: str) -> Optional[SimulationResult]:
+    """Load a cached result, retrying once on transient OSError.
+
+    Corrupt entries (torn writes from interrupted runs predating atomic
+    publication) are deleted so the caller re-simulates.
+    """
+    f = cache_dir / f"{key}.json"
+    for attempt in (0, 1):
+        try:
+            text = f.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            if attempt:
+                return None
+            continue
+        try:
+            return SimulationResult.from_dict(json.loads(text))
+        except (ValueError, TypeError, KeyError):
+            f.unlink(missing_ok=True)  # stale/corrupt cache entry
+            return None
+    return None
 
 
 def clear_memory_cache() -> None:
@@ -207,10 +316,14 @@ def _write_manifest(
         cache=cache,
         timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
     )
+    path = manifest_path(cache_dir, key)
     try:
-        manifest.write(manifest_path(cache_dir, key))
+        manifest.write(path)
     except OSError:
-        pass
+        try:  # retry once: transient failures (ENOSPC races, NFS blips)
+            manifest.write(path)
+        except OSError:
+            pass
 
 
 def load_manifest(spec_or_key) -> Optional[RunManifest]:
@@ -228,6 +341,16 @@ def load_manifest(spec_or_key) -> Optional[RunManifest]:
         return None
 
 
+def _disk_hit(cache_dir: Path, key: str, spec: RunSpec,
+              result: SimulationResult) -> SimulationResult:
+    _memory_cache[key] = result
+    _cache_stats["disk_hits"] += 1
+    if not manifest_path(cache_dir, key).exists():
+        # Entry predates manifests: backfill without wall time.
+        _write_manifest(cache_dir, key, spec, "hit", None)
+    return result
+
+
 def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     """Run ``spec``, consulting the memory and disk caches."""
     key = spec.key()
@@ -236,18 +359,15 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         return _memory_cache[key]
     cache_dir = _cache_dir() if use_cache else None
     if cache_dir is not None:
-        f = cache_dir / f"{key}.json"
-        if f.exists():
-            try:
-                result = SimulationResult.from_dict(json.loads(f.read_text()))
-                _memory_cache[key] = result
-                _cache_stats["disk_hits"] += 1
-                if not manifest_path(cache_dir, key).exists():
-                    # Entry predates manifests: backfill without wall time.
-                    _write_manifest(cache_dir, key, spec, "hit", None)
-                return result
-            except (ValueError, TypeError, KeyError):
-                f.unlink(missing_ok=True)  # stale/corrupt cache entry
+        result = _read_disk(cache_dir, key)
+        if result is not None:
+            return _disk_hit(cache_dir, key, spec, result)
+        # Double-checked read-after-miss: a concurrent worker racing on
+        # this key may have published between the first look and now
+        # (its atomic os.replace makes the entry appear all at once).
+        result = _read_disk(cache_dir, key)
+        if result is not None:
+            return _disk_hit(cache_dir, key, spec, result)
     _cache_stats["misses"] += 1
     t0 = time.perf_counter()
     sim = build_simulation(spec)
@@ -256,6 +376,8 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     if use_cache:
         _memory_cache[key] = result
         if cache_dir is not None:
-            (cache_dir / f"{key}.json").write_text(json.dumps(result.to_dict()))
+            # Manifest first: a result file must never exist without its
+            # provenance sidecar, even under SIGKILL between the writes.
             _write_manifest(cache_dir, key, spec, "miss", wall)
+            _publish_text(cache_dir / f"{key}.json", json.dumps(result.to_dict()))
     return result

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import pool_map
 from repro.mem.address import AddressSpace
 from repro.sync.primitives import SyncSpace
 from repro.workloads.registry import get_workload, paper_workloads
@@ -36,19 +37,21 @@ def measure_working_set(name: str, scale: float = 1.0, page_size: int = 2048) ->
     return space.allocated_bytes
 
 
-def run_table1(scale: float = 1.0) -> list[Table1Row]:
-    rows = []
-    for name in paper_workloads():
-        wl_cls = type(get_workload(name, scale=scale))
-        rows.append(
-            Table1Row(
-                app=name,
-                description=wl_cls.description,
-                paper_ws_mb=wl_cls.paper_working_set_mb,
-                our_ws_bytes=measure_working_set(name, scale=scale),
-            )
-        )
-    return rows
+def _build_row(task: tuple[str, float]) -> Table1Row:
+    """Measure one application's row (module-level for pool pickling)."""
+    name, scale = task
+    wl_cls = type(get_workload(name, scale=scale))
+    return Table1Row(
+        app=name,
+        description=wl_cls.description,
+        paper_ws_mb=wl_cls.paper_working_set_mb,
+        our_ws_bytes=measure_working_set(name, scale=scale),
+    )
+
+
+def run_table1(scale: float = 1.0, jobs: int | None = None) -> list[Table1Row]:
+    tasks = [(name, scale) for name in paper_workloads()]
+    return pool_map(_build_row, tasks, jobs=jobs)
 
 
 def format_table1(rows: list[Table1Row]) -> str:

@@ -14,6 +14,7 @@ restricted subsystems) and passed in.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -42,7 +43,16 @@ class RunManifest:
         return json.dumps(asdict(self), sort_keys=True, indent=2)
 
     def write(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(self.to_json() + "\n")
+        """Publish the manifest atomically (write-to-temp + os.replace),
+        so concurrent sweep workers never expose a torn sidecar."""
+        path = Path(path)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text(self.to_json() + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunManifest":

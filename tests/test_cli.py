@@ -33,6 +33,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "doom"])
 
+    def test_figure_jobs_and_workloads(self):
+        args = build_parser().parse_args(
+            ["figure", "2", "--jobs", "4", "--workloads", "fft", "radix"]
+        )
+        assert args.jobs == 4
+        assert args.workloads == ["fft", "radix"]
+
+    def test_jobs_defaults_to_serial(self):
+        assert build_parser().parse_args(["figure", "3"]).jobs == 1
+        assert build_parser().parse_args(["table", "1"]).jobs == 1
+        assert build_parser().parse_args(["export", "figure2"]).jobs == 1
+
+    def test_jobs_short_flag(self):
+        args = build_parser().parse_args(["export", "figure5", "-j", "-1"])
+        assert args.jobs == -1
+
+    def test_figure_workloads_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "2", "--workloads", "doom"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -63,6 +83,19 @@ class TestCommands:
 
     def test_bad_figure_number(self, capsys):
         assert main(["figure", "9"]) == 2
+
+    def test_figure_parallel_smoke(self, capsys):
+        from repro.experiments.runner import reset_cache_stats
+
+        reset_cache_stats()
+        rc = main(
+            ["figure", "2", "--scale", "0.25",
+             "--workloads", "synth_private", "--jobs", "2"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Figure 2" in captured.out and "synth_private" in captured.out
+        assert "cache: 3 runs" in captured.err
 
     def test_bad_table_number(self):
         assert main(["table", "2"]) == 2

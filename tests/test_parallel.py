@@ -1,0 +1,309 @@
+"""Tests for the parallel sweep engine and the multi-writer-safe disk
+cache underneath it: determinism of the pool path, merged cache stats,
+corrupt/truncated entry recovery, racing writers, relocated and disabled
+cache directories, and atomic publication under SIGKILL."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.parallel import pool_map, resolve_jobs, run_specs
+from repro.experiments.runner import (
+    RunSpec,
+    cache_stats,
+    clear_memory_cache,
+    reset_cache_dir_memo,
+    reset_cache_stats,
+    run_spec,
+)
+
+SPEC = RunSpec(workload="synth_private", scale=0.25)
+
+#: A small Figure-2 slice: one app, the three clustering degrees.
+FIG2_SLICE = [
+    RunSpec(workload="fft", procs_per_node=ppn, memory_pressure=1 / 16, scale=0.25)
+    for ppn in (1, 2, 4)
+]
+
+
+@pytest.fixture()
+def disk_cache(tmp_path, monkeypatch):
+    """A fresh disk cache with clean in-memory state on both sides."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    clear_memory_cache()
+    reset_cache_stats()
+    yield tmp_path
+    clear_memory_cache()
+    reset_cache_stats()
+
+
+def _result_files(cache_dir: Path) -> list[Path]:
+    return [
+        p for p in cache_dir.glob("*.json")
+        if not p.name.endswith(".manifest.json")
+    ]
+
+
+class TestResolveJobs:
+    def test_serial_spellings(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_explicit_and_all_cpus(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(-1) >= 1
+
+
+class TestSerialPath:
+    def test_matches_run_spec_loop(self, disk_cache):
+        results = run_specs(FIG2_SLICE, jobs=1)
+        clear_memory_cache()
+        expected = [run_spec(s) for s in FIG2_SLICE]
+        assert [r.to_dict() for r in results] == [r.to_dict() for r in expected]
+
+    def test_on_result_streams_in_order(self, disk_cache):
+        seen = []
+        run_specs(FIG2_SLICE, jobs=None,
+                  on_result=lambda i, s, r: seen.append(i))
+        assert seen == [0, 1, 2]
+
+
+class TestParallelPath:
+    def test_byte_identical_to_serial(self, disk_cache, tmp_path_factory,
+                                      monkeypatch):
+        serial = [run_spec(s) for s in FIG2_SLICE]
+        # A second cold cache for the pool: no help from the serial leg.
+        monkeypatch.setenv(
+            "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("parallel"))
+        )
+        clear_memory_cache()
+        reset_cache_stats()
+        parallel = run_specs(FIG2_SLICE, jobs=4)
+        assert [json.dumps(r.to_dict(), sort_keys=True) for r in parallel] == \
+            [json.dumps(r.to_dict(), sort_keys=True) for r in serial]
+        assert cache_stats()["misses"] == len(FIG2_SLICE)
+
+    def test_merged_stats_cover_every_point(self, disk_cache):
+        run_specs(FIG2_SLICE, jobs=2)
+        assert sum(cache_stats().values()) == len(FIG2_SLICE)
+        # Warm re-run in a fresh process-side state: all memory hits here.
+        reset_cache_stats()
+        run_specs(FIG2_SLICE, jobs=2)
+        s = cache_stats()
+        assert s["misses"] == 0 and sum(s.values()) == len(FIG2_SLICE)
+
+    def test_warm_disk_cache_all_hits(self, disk_cache):
+        run_specs(FIG2_SLICE, jobs=2)
+        clear_memory_cache()
+        reset_cache_stats()
+        run_specs(FIG2_SLICE, jobs=2)
+        s = cache_stats()
+        assert s["disk_hits"] == len(FIG2_SLICE) and s["misses"] == 0
+
+    def test_duplicate_keys_simulated_once(self, disk_cache):
+        results = run_specs([SPEC, SPEC, SPEC], jobs=2)
+        s = cache_stats()
+        assert s["misses"] == 1 and s["memory_hits"] == 2
+        assert results[0].to_dict() == results[1].to_dict() == results[2].to_dict()
+
+    def test_on_result_sees_every_index(self, disk_cache):
+        seen = set()
+        run_specs(FIG2_SLICE + [FIG2_SLICE[0]], jobs=2,
+                  on_result=lambda i, s, r: seen.add(i))
+        assert seen == {0, 1, 2, 3}
+
+    def test_no_cache_mode_runs_everything(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        clear_memory_cache()
+        reset_cache_stats()
+        run_specs([SPEC, SPEC], jobs=2, use_cache=False)
+        assert cache_stats()["misses"] == 2
+        assert not _result_files(tmp_path), "use_cache=False must not publish"
+
+    def test_no_temp_files_left_behind(self, disk_cache):
+        run_specs(FIG2_SLICE, jobs=2)
+        leftovers = [p for p in disk_cache.iterdir() if ".tmp." in p.name]
+        assert not leftovers
+
+    def test_every_result_has_a_manifest(self, disk_cache):
+        run_specs(FIG2_SLICE, jobs=2)
+        for f in _result_files(disk_cache):
+            sidecar = f.with_name(f.name.replace(".json", ".manifest.json"))
+            assert sidecar.exists(), f"{f.name} published without provenance"
+            json.loads(sidecar.read_text())  # parses
+
+    def test_pool_map_matches_serial(self):
+        assert pool_map(_square, [1, 2, 3, 4], jobs=2) == [1, 4, 9, 16]
+        assert pool_map(_square, [5], jobs=2) == [25]
+
+    def test_figure2_jobs_matches_serial(self, disk_cache):
+        from repro.experiments.figure2 import run_figure2
+
+        parallel_rows = run_figure2(scale=0.25, workloads=["fft"], jobs=2)
+        clear_memory_cache()
+        serial_rows = run_figure2(scale=0.25, workloads=["fft"])
+        assert parallel_rows == serial_rows
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestCacheKeyCanonicalization:
+    def test_float_spellings_share_a_key(self):
+        # 0.1 + 0.2 != 0.3 as floats, but both mean the same pressure.
+        a = RunSpec(workload="fft", memory_pressure=0.3)
+        b = RunSpec(workload="fft", memory_pressure=0.1 + 0.2)
+        assert a.memory_pressure != b.memory_pressure
+        assert a.key() == b.key()
+
+    def test_distinct_pressures_still_distinct(self):
+        a = RunSpec(workload="fft", memory_pressure=13 / 16)
+        b = RunSpec(workload="fft", memory_pressure=14 / 16)
+        assert a.key() != b.key()
+
+
+class TestCacheAdversity:
+    def test_truncated_entry_recovered(self, disk_cache):
+        key = SPEC.key()
+        full = json.dumps(run_spec(SPEC).to_dict())
+        clear_memory_cache()
+        (disk_cache / f"{key}.json").write_text(full[: len(full) // 2])
+        r = run_spec(SPEC)
+        assert r.counters["reads"] > 0
+        # The re-simulated entry replaced the torn one intact.
+        json.loads((disk_cache / f"{key}.json").read_text())
+
+    def test_corrupt_manifest_tolerated(self, disk_cache):
+        run_spec(SPEC)
+        key = SPEC.key()
+        (disk_cache / f"{key}.manifest.json").write_text("{torn")
+        clear_memory_cache()
+        assert run_spec(SPEC).counters["reads"] > 0
+        assert runner.load_manifest(SPEC) is None
+
+    def test_no_disk_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        clear_memory_cache()
+        run_spec(SPEC)
+        assert not list(tmp_path.iterdir())
+
+    def test_relocated_cache_dir(self, tmp_path, monkeypatch):
+        target = tmp_path / "deep" / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        clear_memory_cache()
+        run_spec(SPEC)
+        assert (target / f"{SPEC.key()}.json").exists()
+
+    def test_racing_writers_one_intact_entry(self, disk_cache):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires fork")
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_race_worker) for _ in range(2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        key = SPEC.key()
+        result = json.loads((disk_cache / f"{key}.json").read_text())
+        assert result["counters"]["reads"] > 0
+        manifest = json.loads(
+            (disk_cache / f"{key}.manifest.json").read_text()
+        )
+        assert manifest["key"] == key
+        assert not [p for p in disk_cache.iterdir() if ".tmp." in p.name]
+
+    def test_sigkill_leaves_no_torn_entries(self, disk_cache):
+        env = dict(os.environ)
+        env.pop("REPRO_NO_DISK_CACHE", None)
+        env["REPRO_CACHE_DIR"] = str(disk_cache)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).parent.parent / "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _SIGKILL_SCRIPT],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        # Let it publish a few entries, then kill it mid-sweep.
+        deadline = time.time() + 60
+        while time.time() < deadline and not _result_files(disk_cache):
+            time.sleep(0.05)
+        time.sleep(0.2)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        results = _result_files(disk_cache)
+        assert results, "the sweep died before publishing anything"
+        for f in results:
+            json.loads(f.read_text())  # every published entry is intact
+            sidecar = f.with_name(f.name.replace(".json", ".manifest.json"))
+            assert sidecar.exists(), "result published without provenance"
+        for m in disk_cache.glob("*.manifest.json"):
+            json.loads(m.read_text())
+
+
+def _race_worker() -> None:
+    # Both processes inherit a warm parent only for code, not results:
+    # wipe the in-memory cache so each one races through the disk path.
+    clear_memory_cache()
+    run_spec(SPEC)
+
+
+_SIGKILL_SCRIPT = """
+from repro.experiments.runner import RunSpec, run_spec
+for seed in range(2000, 2100):
+    run_spec(RunSpec(workload="synth_private", scale=0.1, seed=seed))
+"""
+
+
+class TestCacheDirMemoization:
+    def test_unwritable_dir_warns_once(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        reset_cache_dir_memo()
+        with pytest.warns(RuntimeWarning, match="disk cache disabled"):
+            assert runner._cache_dir() is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert runner._cache_dir() is None  # memoized: no second warning
+        reset_cache_dir_memo()
+
+    def test_mkdir_runs_once_per_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        reset_cache_dir_memo()
+        calls = []
+        original = Path.mkdir
+
+        def counting_mkdir(self, *a, **k):
+            calls.append(self)
+            return original(self, *a, **k)
+
+        monkeypatch.setattr(Path, "mkdir", counting_mkdir)
+        first = runner._cache_dir()
+        second = runner._cache_dir()
+        assert first == second == tmp_path / "c"
+        assert len(calls) == 1
+        reset_cache_dir_memo()
