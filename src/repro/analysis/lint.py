@@ -55,6 +55,16 @@ RESTRICTED_SUBSYSTEMS = frozenset({
     "sim", "coma", "bus", "timing", "obs", "trace", "workloads",
 })
 
+#: Files *inside* restricted subsystems that are explicitly exempt from
+#: the DET rules.  The metrics/bench exporters stamp wall-clock
+#: provenance on their output — host facts, like ``obs/manifest.py``'s
+#: git revision — so they live outside the deterministic core even
+#: though they sit next to the (restricted) registry they export.
+#: Paths are package-relative ``(subsystem, ..., filename)`` tuples.
+UNRESTRICTED_FILES = frozenset({
+    ("obs", "openmetrics.py"),
+})
+
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns",
     "time.monotonic", "time.monotonic_ns",
@@ -266,8 +276,15 @@ def lint_source(
 
 
 def is_restricted(rel_parts: tuple[str, ...]) -> bool:
-    """Whether a path (relative to the package root) is deterministic core."""
-    return bool(rel_parts) and rel_parts[0] in RESTRICTED_SUBSYSTEMS
+    """Whether a path (relative to the package root) is deterministic core.
+
+    ``rel_parts`` may name a directory (subsystem scoping only) or a
+    file — file paths are additionally checked against the
+    ``UNRESTRICTED_FILES`` allowlist.
+    """
+    if not rel_parts or rel_parts[0] not in RESTRICTED_SUBSYSTEMS:
+        return False
+    return tuple(rel_parts) not in UNRESTRICTED_FILES
 
 
 def lint_file(path: Path, package_root: Optional[Path] = None) -> list[Finding]:
@@ -275,7 +292,7 @@ def lint_file(path: Path, package_root: Optional[Path] = None) -> list[Finding]:
     (defaults to the installed ``repro`` package directory)."""
     root = package_root or default_root()
     try:
-        rel = path.resolve().relative_to(root.resolve()).parts[:-1]
+        rel = path.resolve().relative_to(root.resolve()).parts
     except ValueError:
         rel = ()
     return lint_source(path.read_text(), str(path), restricted=is_restricted(rel))

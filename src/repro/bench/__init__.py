@@ -1,0 +1,30 @@
+"""Benchmark harness and regression gate (``coma-sim bench``).
+
+Times the simulator's hot paths as named suites, writes schema-versioned
+``BENCH_<timestamp>.json`` files, and compares two such files to gate
+wall-time regressions in CI.  This package lives *outside* the
+deterministic core on purpose: it is wall-clock through and through.
+"""
+
+from repro.bench.compare import (
+    BenchFileError,
+    compare_benches,
+    format_comparison,
+    has_regression,
+    load_bench,
+)
+from repro.bench.harness import BENCH_SCHEMA, run_bench, write_bench
+from repro.bench.suites import SUITES, suite_names
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchFileError",
+    "SUITES",
+    "compare_benches",
+    "format_comparison",
+    "has_regression",
+    "load_bench",
+    "run_bench",
+    "suite_names",
+    "write_bench",
+]

@@ -28,6 +28,9 @@ class SharedBus:
         #: Optional :class:`repro.obs.sink.TraceSink`; None keeps
         #: :meth:`record` allocation-free (a single ``if`` per call).
         self.trace = None
+        #: Optional :class:`repro.obs.metrics.BusInstruments`; same
+        #: ``None``-by-default discipline (one ``if`` per call site).
+        self.metrics = None
 
     def phase(self, now: int, bg: bool = False) -> int:
         """Occupy the bus for one phase starting at or after ``now``.
@@ -38,6 +41,8 @@ class SharedBus:
         :class:`repro.timing.resource.Resource`).
         """
         start = self.resource.acquire(now, self.timing.bus_busy_ns, bg)
+        if self.metrics is not None:
+            self.metrics.phase(start - now, self.timing.bus_busy_ns)
         return start + self.timing.bus_phase_ns
 
     def record(
@@ -55,6 +60,8 @@ class SharedBus:
         if self.trace is not None:
             self.trace.bus(now, self.name, kind.name, cls.value,
                            nbytes, origin, line)
+        if self.metrics is not None:
+            self.metrics.record(cls.value, nbytes)
 
     @property
     def total_bytes(self) -> int:

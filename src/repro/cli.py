@@ -307,12 +307,87 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     prof = SharingProfiler()
     sim = build_simulation(spec)
-    sim.profiler = prof
-    sim.profile_every = args.every
+    sim.attach(prof, every=args.every)
     sim.run()
     prof.sample(sim.machine)
     print(format_profile(prof.report()))
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import build_simulation, set_experiment_metrics
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.openmetrics import (
+        snapshot_provenance,
+        to_json,
+        to_openmetrics,
+        to_table,
+    )
+
+    spec = _trace_spec(args)
+    registry = MetricsRegistry()
+    set_experiment_metrics(registry)
+    try:
+        sim = build_simulation(spec)
+        sim.attach(registry)
+        sim.run()
+    finally:
+        set_experiment_metrics(None)
+    if args.format == "openmetrics":
+        out = to_openmetrics(registry)
+    elif args.format == "json":
+        prov = snapshot_provenance()
+        prov["spec_key"] = spec.key()
+        out = to_json(registry, provenance=prov)
+    else:
+        out = to_table(registry) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(out)
+        print(f"metrics: {args.out} ({args.format})")
+    else:
+        print(out, end="")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchFileError,
+        compare_benches,
+        format_comparison,
+        has_regression,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    try:
+        old = load_bench(args.compare) if args.compare else None
+        if args.new is not None:
+            # Compare two existing files; no timing run.
+            if old is None:
+                print("--new requires --compare OLD", file=sys.stderr)
+                return 2
+            new = load_bench(args.new)
+        else:
+            label = "quick suites" if args.quick else "full suites"
+            print(f"bench: {label}, {args.repeats} repeat(s), "
+                  f"jobs={args.jobs}", file=sys.stderr)
+            new = run_bench(
+                quick=args.quick, jobs=args.jobs, repeats=args.repeats,
+                only=args.suites or None,
+                echo=lambda line: print(line, file=sys.stderr),
+            )
+            path = write_bench(new, out=args.out)
+            print(f"wrote {path}")
+    except (BenchFileError, ValueError) as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    if old is None:
+        return 0
+    rows = compare_benches(old, new, threshold_pct=args.threshold)
+    print(format_comparison(rows, args.threshold))
+    return 1 if has_regression(rows) else 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -518,6 +593,45 @@ def build_parser() -> argparse.ArgumentParser:
     sz.add_argument("--report", metavar="PATH",
                     help="write findings + provenance as JSON")
     sz.set_defaults(func=_cmd_sanitize)
+
+    mt = sub.add_parser(
+        "metrics",
+        help="run one simulation with the metrics registry attached and "
+        "export it (OpenMetrics/JSON/table)",
+    )
+    _traced(mt)
+    mt.add_argument("--format", choices=["openmetrics", "json", "table"],
+                    default="table")
+    mt.add_argument("--out", metavar="PATH",
+                    help="write the export to a file instead of stdout")
+    mt.set_defaults(func=_cmd_metrics)
+
+    from repro.bench.suites import suite_names as _suite_names
+
+    bn = sub.add_parser(
+        "bench",
+        help="time the simulator's hot paths and gate wall-time regressions",
+    )
+    bn.add_argument("--quick", action="store_true",
+                    help="smaller work units (CI smoke)")
+    bn.add_argument("--repeats", type=int, default=3, metavar="N",
+                    help="repeats per suite; the minimum wall time is kept")
+    bn.add_argument("--suites", nargs="*", metavar="NAME",
+                    choices=_suite_names(),
+                    help="restrict to these suites")
+    bn.add_argument("--out", metavar="PATH",
+                    help="output path (default BENCH_<timestamp>.json)")
+    bn.add_argument("--compare", metavar="BENCH_OLD.json",
+                    help="compare against this baseline; exit 1 on "
+                    "regression")
+    bn.add_argument("--new", metavar="BENCH_NEW.json",
+                    help="with --compare: diff two existing files "
+                    "without running")
+    bn.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                    help="wall-time slowdown that counts as a regression "
+                    "(default 10%%)")
+    _jobs_flag(bn)
+    bn.set_defaults(func=_cmd_bench)
 
     ex = sub.add_parser(
         "explain", help="narrate one cache line's protocol history"

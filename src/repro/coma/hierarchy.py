@@ -60,6 +60,13 @@ class HierarchicalComaMachine(ComaMachine):
         for gb in self.group_buses:
             gb.trace = sink
 
+    def set_metrics(self, registry) -> None:
+        super().set_metrics(registry)
+        from repro.obs.metrics import BusInstruments
+
+        for gb in self.group_buses:
+            gb.metrics = BusInstruments(registry, gb.name)
+
     # ------------------------------------------------------------------
     def group_of(self, node_id: int) -> int:
         return node_id // self.nodes_per_group

@@ -97,11 +97,23 @@ class ComaMachine:
         #: keeps every emission site a single ``if`` with no allocations;
         #: attach one with :meth:`set_trace`.
         self.trace = None
+        #: Optional :class:`repro.obs.metrics.MachineInstruments`; same
+        #: ``None``-by-default, one-``if``-per-site discipline as tracing.
+        #: Attach a registry with :meth:`set_metrics`.
+        self.metrics = None
 
     def set_trace(self, sink) -> None:
         """Attach a trace sink to the machine and its interconnect."""
         self.trace = sink
         self.bus.trace = sink
+
+    def set_metrics(self, registry) -> None:
+        """Wire a :class:`repro.obs.metrics.MetricsRegistry` into the
+        machine and its interconnect (pre-binding the hot-path children)."""
+        from repro.obs.metrics import BusInstruments, MachineInstruments
+
+        self.metrics = MachineInstruments(registry, len(self.nodes))
+        self.bus.metrics = BusInstruments(registry, self.bus.name)
 
     # ------------------------------------------------------------------
     # processor-facing operations
@@ -125,6 +137,8 @@ class ComaMachine:
             if self.trace is not None:
                 self.trace.access(now, proc, "r", line, LEVEL_L1, done - now,
                                   addr)
+            if self.metrics is not None:
+                self.metrics.access("r", LEVEL_L1, done - now)
             return done, LEVEL_L1
 
         slc = self.slcs[proc]
@@ -136,6 +150,8 @@ class ComaMachine:
             if self.trace is not None:
                 self.trace.access(now, proc, "r", line, LEVEL_SLC, done - now,
                                   addr)
+            if self.metrics is not None:
+                self.metrics.access("r", LEVEL_SLC, done - now)
             return done, LEVEL_SLC
 
         # Node level: the attraction memory (or the overflow buffer).
@@ -150,6 +166,9 @@ class ComaMachine:
             if self.trace is not None:
                 self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
                                   addr)
+            if self.metrics is not None:
+                self.metrics.access("r", LEVEL_AM, done - now)
+                self.metrics.node_hit(node.id)
             return done, LEVEL_AM
         if line in node.overflow:
             done = self._am_access(node, now)
@@ -159,6 +178,9 @@ class ComaMachine:
             if self.trace is not None:
                 self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
                                   addr)
+            if self.metrics is not None:
+                self.metrics.access("r", LEVEL_AM, done - now)
+                self.metrics.node_hit(node.id)
             return done, LEVEL_AM
         if not self.config.inclusive:
             sr = node.slc_resident.get(line)
@@ -173,10 +195,15 @@ class ComaMachine:
                 if self.trace is not None:
                     self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
                                   addr)
+                if self.metrics is not None:
+                    self.metrics.access("r", LEVEL_AM, done - now)
+                    self.metrics.node_hit(node.id)
                 return done, LEVEL_AM
 
         # Read node miss.
         c.node_read_misses += 1
+        if self.metrics is not None:
+            self.metrics.node_miss(node.id)
         self._classify_read_miss(node, line)
         if node.shadow is not None:
             node.shadow.access(line)
@@ -195,6 +222,8 @@ class ComaMachine:
             if self.trace is not None:
                 self.trace.access(now, proc, "r", line, LEVEL_REMOTE,
                                   done - now, addr)
+            if self.metrics is not None:
+                self.metrics.access("r", LEVEL_REMOTE, done - now)
             return done, LEVEL_REMOTE
         node.am.fill(way, line, SHARED)
         node.note_present(line)
@@ -207,6 +236,8 @@ class ComaMachine:
         if self.trace is not None:
             self.trace.access(now, proc, "r", line, LEVEL_REMOTE,
                                   done - now, addr)
+        if self.metrics is not None:
+            self.metrics.access("r", LEVEL_REMOTE, done - now)
         return done, LEVEL_REMOTE
 
     def write(self, proc: int, addr: int, now: int) -> int:
@@ -225,6 +256,8 @@ class ComaMachine:
         if self.trace is not None:
             self.trace.access(now, proc, "w", addr >> self._shift, level,
                               done - now, addr)
+        if self.metrics is not None:
+            self.metrics.access("w", level, done - now)
         return done
 
     def rmw(self, proc: int, addr: int, now: int) -> tuple[int, str]:
@@ -238,6 +271,8 @@ class ComaMachine:
         if self.trace is not None:
             self.trace.access(now, proc, "rmw", addr >> self._shift, level,
                               done - now, addr)
+        if self.metrics is not None:
+            self.metrics.access("rmw", level, done - now)
         return done, level
 
     def write_stalling(self, proc: int, addr: int, now: int) -> tuple[int, str]:
@@ -247,6 +282,8 @@ class ComaMachine:
         if self.trace is not None:
             self.trace.access(now, proc, "w", addr >> self._shift, level,
                               done - now, addr)
+        if self.metrics is not None:
+            self.metrics.access("w", level, done - now)
         return done, level
 
     # ------------------------------------------------------------------
@@ -312,6 +349,8 @@ class ComaMachine:
         # Write node miss: read-exclusive on the bus.
         c.node_write_misses += 1
         c.read_exclusive += 1
+        if self.metrics is not None:
+            self.metrics.node_miss(node.id)
         owner = self.nodes[info.owner_node]
         self._record_remote(TxKind.READ_EXCL, node, owner, line)
         t = self._remote_path(node, owner, now)

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
+import time
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.experiments import runner
@@ -66,19 +68,71 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _fmt_seconds(s: float) -> str:
+    if s < 60:
+        return f"{s:.1f}s"
+    m, sec = divmod(int(round(s)), 60)
+    if m < 60:
+        return f"{m}m{sec:02d}s"
+    h, m = divmod(m, 60)
+    return f"{h}h{m:02d}m"
+
+
+class SweepProgress:
+    """Single-line live progress for a sweep, redrawn on stderr.
+
+    ``update`` rewrites one ``\\r``-terminated line with the completion
+    count, elapsed wall time and an ETA (mean wall time per completed
+    point times the points remaining); ``close`` ends the line with a
+    newline so subsequent output starts clean.
+    """
+
+    def __init__(self, total: int, label: str = "sweep", stream=None) -> None:
+        self.total = total
+        self.label = label
+        self.stream = sys.stderr if stream is None else stream
+        self.done = 0
+        self._t0 = time.perf_counter()
+        self._width = 0
+
+    def update(self, n: int = 1) -> None:
+        self.done += n
+        elapsed = time.perf_counter() - self._t0
+        if 0 < self.done < self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+            tail = f"eta {_fmt_seconds(eta)}"
+        else:
+            tail = "done"
+        line = (f"[{self.label}] {self.done}/{self.total} points "
+                f"elapsed {_fmt_seconds(elapsed)} {tail}")
+        pad = max(self._width - len(line), 0)
+        self._width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._width:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
 def _run_one(task: tuple) -> tuple:
     """Worker body: run one spec, report the result and the stats delta.
 
     Runs in the pool worker process; the delta (stats after minus stats
     before) isolates this task's hits/misses even though the worker's
-    process-global tally accumulates across the tasks it serves.
+    process-global tally accumulates across the tasks it serves.  The
+    task's wall time rides back too, so the parent can feed an attached
+    metrics registry (workers can't share one across processes).
     """
     index, spec, use_cache = task
     before = runner.cache_stats()
+    t0 = time.perf_counter()
     result = runner.run_spec(spec, use_cache=use_cache)
+    wall_s = time.perf_counter() - t0
     after = runner.cache_stats()
     delta = {k: after[k] - before[k] for k in after}
-    return index, result.to_dict(), delta
+    return index, result.to_dict(), delta, wall_s
 
 
 def run_specs(
@@ -86,56 +140,77 @@ def run_specs(
     jobs: Optional[int] = None,
     use_cache: bool = True,
     on_result: Optional[OnResult] = None,
+    progress: Optional[bool] = None,
+    progress_label: str = "sweep",
 ) -> list[SimulationResult]:
     """Run a sweep of specs, optionally over a process pool.
 
     Returns results in spec order.  ``on_result(index, spec, result)``
     is invoked as each point completes (completion order under
     parallelism, spec order serially) — figure modules use it for
-    progress streaming.
+    progress streaming.  ``progress=True`` additionally redraws a live
+    count/elapsed/ETA line on stderr as points complete; the default
+    (``None``) turns it on exactly when stderr is a terminal, so
+    redirected/captured runs stay clean.
     """
     specs = list(specs)
     n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(specs) <= 1:
-        results = []
-        for i, spec in enumerate(specs):
-            r = runner.run_spec(spec, use_cache=use_cache)
-            if on_result is not None:
-                on_result(i, spec, r)
-            results.append(r)
-        return results
-
-    # Submit each distinct cache key once; duplicate positions are
-    # served from the fanned-in copy (a memory hit, as in the serial
-    # loop).  Without the cache there is no key identity to exploit.
-    keys = [s.key() for s in specs]
-    first_index: dict[str, int] = {}
-    duplicates: dict[int, list[int]] = {}
-    tasks: list[tuple] = []
-    for i, k in enumerate(keys):
-        if use_cache and k in first_index:
-            duplicates.setdefault(first_index[k], []).append(i)
-        else:
-            first_index.setdefault(k, i)
-            tasks.append((i, specs[i], use_cache))
-
-    results: list[Optional[SimulationResult]] = [None] * len(specs)
-    ctx = _context()
-    with ctx.Pool(processes=min(n_jobs, len(tasks))) as pool:
-        for index, payload, delta in pool.imap_unordered(
-            _run_one, tasks, chunksize=1
-        ):
-            runner.merge_cache_stats(delta)
-            result = SimulationResult.from_dict(payload)
-            if use_cache:
-                runner.memoize_result(keys[index], result)
-            for i in (index, *duplicates.get(index, ())):
-                results[i] = result
-                if i != index:
-                    runner.merge_cache_stats({"memory_hits": 1})
+    if progress is None:
+        try:
+            progress = sys.stderr.isatty()
+        except (AttributeError, ValueError):
+            progress = False
+    bar = SweepProgress(len(specs), progress_label) if progress and specs else None
+    try:
+        if n_jobs <= 1 or len(specs) <= 1:
+            results = []
+            for i, spec in enumerate(specs):
+                r = runner.run_spec(spec, use_cache=use_cache)
                 if on_result is not None:
-                    on_result(i, specs[i], result)
-    return results  # type: ignore[return-value]  # every slot is filled
+                    on_result(i, spec, r)
+                if bar is not None:
+                    bar.update()
+                results.append(r)
+            return results
+
+        # Submit each distinct cache key once; duplicate positions are
+        # served from the fanned-in copy (a memory hit, as in the serial
+        # loop).  Without the cache there is no key identity to exploit.
+        keys = [s.key() for s in specs]
+        first_index: dict[str, int] = {}
+        duplicates: dict[int, list[int]] = {}
+        tasks: list[tuple] = []
+        for i, k in enumerate(keys):
+            if use_cache and k in first_index:
+                duplicates.setdefault(first_index[k], []).append(i)
+            else:
+                first_index.setdefault(k, i)
+                tasks.append((i, specs[i], use_cache))
+
+        results: list[Optional[SimulationResult]] = [None] * len(specs)
+        ctx = _context()
+        with ctx.Pool(processes=min(n_jobs, len(tasks))) as pool:
+            for index, payload, delta, wall_s in pool.imap_unordered(
+                _run_one, tasks, chunksize=1
+            ):
+                runner.merge_cache_stats(delta)
+                if runner._metrics is not None:
+                    runner._metrics.worker_wall.observe(wall_s * 1e6)
+                result = SimulationResult.from_dict(payload)
+                if use_cache:
+                    runner.memoize_result(keys[index], result)
+                for i in (index, *duplicates.get(index, ())):
+                    results[i] = result
+                    if i != index:
+                        runner.merge_cache_stats({"memory_hits": 1})
+                    if on_result is not None:
+                        on_result(i, specs[i], result)
+                    if bar is not None:
+                        bar.update()
+        return results  # type: ignore[return-value]  # every slot is filled
+    finally:
+        if bar is not None:
+            bar.close()
 
 
 def pool_map(

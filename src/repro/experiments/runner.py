@@ -57,6 +57,28 @@ _memory_cache: dict[str, SimulationResult] = {}
 _cache_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
 
 
+#: Optional :class:`repro.obs.metrics.ExperimentInstruments`; set by
+#: ``coma-sim metrics``/``coma-sim bench`` via :func:`set_experiment_metrics`.
+_metrics = None
+
+
+def set_experiment_metrics(registry) -> None:
+    """Route the cache tally and per-run wall times into ``registry``.
+
+    Pass ``None`` to detach.  This is the experiment layer's half of the
+    uniform observer story: the deterministic core records simulated
+    quantities, while this layer records wall-clock ones into the same
+    registry.
+    """
+    global _metrics
+    if registry is None:
+        _metrics = None
+    else:
+        from repro.obs.metrics import ExperimentInstruments
+
+        _metrics = ExperimentInstruments(registry)
+
+
 def cache_stats() -> dict[str, int]:
     """A copy of the process-wide cache hit/miss tally."""
     return dict(_cache_stats)
@@ -345,6 +367,8 @@ def _disk_hit(cache_dir: Path, key: str, spec: RunSpec,
               result: SimulationResult) -> SimulationResult:
     _memory_cache[key] = result
     _cache_stats["disk_hits"] += 1
+    if _metrics is not None:
+        _metrics.cache_requests.labels("disk_hit").inc()
     if not manifest_path(cache_dir, key).exists():
         # Entry predates manifests: backfill without wall time.
         _write_manifest(cache_dir, key, spec, "hit", None)
@@ -356,6 +380,8 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     key = spec.key()
     if use_cache and key in _memory_cache:
         _cache_stats["memory_hits"] += 1
+        if _metrics is not None:
+            _metrics.cache_requests.labels("memory_hit").inc()
         return _memory_cache[key]
     cache_dir = _cache_dir() if use_cache else None
     if cache_dir is not None:
@@ -373,6 +399,9 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     sim = build_simulation(spec)
     result = sim.run()
     wall = time.perf_counter() - t0
+    if _metrics is not None:
+        _metrics.cache_requests.labels("miss").inc()
+        _metrics.run_wall.observe(wall * 1e6)
     if use_cache:
         _memory_cache[key] = result
         if cache_dir is not None:

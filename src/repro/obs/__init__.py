@@ -16,7 +16,12 @@ explainable:
 * :mod:`repro.obs.biography`   — per-line history index behind
   ``coma-sim explain --line``;
 * :mod:`repro.obs.manifest`    — run-manifest sidecars tying every cached
-  result to the RunSpec, seed, code version and git revision it came from.
+  result to the RunSpec, seed, code version and git revision it came from;
+* :mod:`repro.obs.metrics`     — typed metrics registry (counters, gauges,
+  log2-bucket histograms, labeled families) instrumented across the hot
+  layers, zero-overhead when disabled;
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text and JSON
+  snapshot exporters for the registry (behind ``coma-sim metrics``).
 
 This package is part of the deterministic core (see the DET lint rules):
 it never reads the wall clock — timestamps are simulated nanoseconds, and
@@ -37,16 +42,22 @@ from repro.obs.events import (
 from repro.obs.flight import FlightRecorder
 from repro.obs.jsonl import JsonlTraceSink, read_trace
 from repro.obs.manifest import RunManifest, git_revision, provenance_header
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.openmetrics import parse_openmetrics, to_openmetrics
 from repro.obs.sink import CollectorSink, TeeSink, TraceSink
 
 __all__ = [
     "BusTx",
     "ChromeTraceSink",
     "CollectorSink",
+    "Counter",
     "FlightRecorder",
+    "Gauge",
+    "Histogram",
     "JsonlTraceSink",
     "LineBiography",
     "MemAccess",
+    "MetricsRegistry",
     "Replacement",
     "RunManifest",
     "SyncOp",
@@ -56,6 +67,8 @@ __all__ = [
     "Transition",
     "format_event",
     "git_revision",
+    "parse_openmetrics",
     "provenance_header",
     "read_trace",
+    "to_openmetrics",
 ]

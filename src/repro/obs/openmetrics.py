@@ -1,0 +1,242 @@
+"""OpenMetrics / JSON exporters for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+``to_openmetrics`` renders the registry in the OpenMetrics text
+exposition format (the Prometheus-compatible superset): ``# TYPE`` /
+``# HELP`` metadata, ``_total``-suffixed counter samples, cumulative
+``le``-labeled histogram buckets and a terminating ``# EOF``.
+``parse_openmetrics`` is the matching (subset) parser, used by the test
+suite for round-trip validation and by ``coma-sim bench`` consumers.
+
+This file is on the DET-lint allowlist (see
+``repro.analysis.lint.UNRESTRICTED_FILES``): :func:`snapshot_provenance`
+stamps exports with the wall-clock timestamp, exactly like the
+experiment runner stamps manifests — provenance is about the host world,
+not the simulated one, so it lives outside the deterministic core even
+though the module sits in ``repro.obs`` next to the registry it exports.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from typing import Optional
+
+from repro.obs.metrics import COUNTER_SUFFIX, Family, MetricsRegistry
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def escape_label_value(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, int):
+        return str(v)
+    return repr(float(v))
+
+
+def _labelset(names, values, extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = [
+        f'{n}="{escape_label_value(v)}"' for n, v in zip(names, values)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_family(fam: Family, lines: list[str]) -> None:
+    name = fam.name
+    lines.append(f"# TYPE {name} {fam.type}")
+    if fam.help:
+        lines.append(f"# HELP {name} {_escape_help(fam.help)}")
+    names = fam.label_names
+    for values, child in fam.samples():
+        if fam.type == "counter":
+            lines.append(
+                f"{name}{COUNTER_SUFFIX}{_labelset(names, values)} "
+                f"{_fmt_value(child.value)}"
+            )
+        elif fam.type == "gauge":
+            lines.append(
+                f"{name}{_labelset(names, values)} {_fmt_value(child.value)}"
+            )
+        else:  # histogram
+            for bound, cum in zip(child.bucket_bounds(), child.cumulative()):
+                le = "+Inf" if bound == float("inf") else str(bound)
+                lines.append(
+                    f"{name}_bucket{_labelset(names, values, ('le', le))} {cum}"
+                )
+            lines.append(
+                f"{name}_sum{_labelset(names, values)} {_fmt_value(child.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_labelset(names, values)} {child.count}"
+            )
+
+
+def to_openmetrics(registry: MetricsRegistry) -> str:
+    """The registry in OpenMetrics text format, ``# EOF``-terminated."""
+    lines: list[str] = []
+    for fam in registry.families():
+        _render_family(fam, lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def to_table(registry: MetricsRegistry) -> str:
+    """A compact human-readable rendering (``--format table``)."""
+    lines: list[str] = []
+    for fam in registry.families():
+        suffix = COUNTER_SUFFIX if fam.type == "counter" else ""
+        lines.append(f"{fam.name}{suffix} ({fam.type}) — {fam.help}")
+        for values, child in fam.samples():
+            label = ",".join(values) or "-"
+            if fam.type == "histogram":
+                mean = child.sum / child.count if child.count else 0.0
+                lines.append(
+                    f"  {label:<24} count={child.count} sum={child.sum} "
+                    f"mean={mean:.1f}"
+                )
+            else:
+                lines.append(f"  {label:<24} {child.value}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_provenance() -> dict:
+    """Host provenance for a metrics/bench export (wall clock allowed
+    here; this module is DET-allowlisted)."""
+    from repro import __version__
+    from repro.experiments.runner import CACHE_VERSION
+    from repro.obs.manifest import git_revision
+
+    return {
+        "repro": __version__,
+        "cache_version": CACHE_VERSION,
+        "git_rev": git_revision() or "unknown",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def to_json(
+    registry: MetricsRegistry, provenance: Optional[dict] = None
+) -> str:
+    """A provenance-stamped JSON snapshot of the registry."""
+    payload = {
+        "provenance": snapshot_provenance() if provenance is None else provenance,
+        "families": registry.snapshot(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# parser (round-trip validation; subset of the OpenMetrics grammar)
+# ----------------------------------------------------------------------
+
+
+class OpenMetricsParseError(ValueError):
+    pass
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq]
+        if text[eq + 1] != '"':
+            raise OpenMetricsParseError(f"unquoted label value near {text[i:]!r}")
+        j = eq + 2
+        value = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                nxt = text[j + 1]
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                j += 2
+            else:
+                value.append(text[j])
+                j += 1
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < len(text):
+            if text[i] != ",":
+                raise OpenMetricsParseError(f"expected ',' near {text[i:]!r}")
+            i += 1
+    return labels
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse an exposition back into ``{family: {type, help, samples}}``.
+
+    ``samples`` maps the full sample name to a list of
+    ``(labels dict, value)`` pairs.  Raises
+    :class:`OpenMetricsParseError` on malformed input, samples preceding
+    their ``# TYPE`` line, or a missing ``# EOF`` terminator.
+    """
+    families: dict[str, dict] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if saw_eof:
+            raise OpenMetricsParseError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_ = rest.partition(" ")
+            families[name] = {"type": type_, "help": "", "samples": {}}
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_ = rest.partition(" ")
+            if name not in families:
+                raise OpenMetricsParseError(
+                    f"line {lineno}: HELP for undeclared family {name!r}")
+            families[name]["help"] = help_
+            continue
+        if line.startswith("#"):
+            continue
+        # A sample: name{labels} value
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            sample_name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+        family = _family_of(sample_name, families)
+        if family is None:
+            raise OpenMetricsParseError(
+                f"line {lineno}: sample {sample_name!r} precedes its TYPE")
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise OpenMetricsParseError(
+                f"line {lineno}: bad value {value_text!r}") from exc
+        families[family]["samples"].setdefault(sample_name, []).append(
+            (labels, value)
+        )
+    if not saw_eof:
+        raise OpenMetricsParseError("missing # EOF terminator")
+    return families
+
+
+def _family_of(sample_name: str, families: dict) -> Optional[str]:
+    if sample_name in families:
+        return sample_name
+    for suffix in (COUNTER_SUFFIX, "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return None

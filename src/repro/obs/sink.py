@@ -56,6 +56,20 @@ class TraceSink:
                obj: int) -> None:
         self.emit(SyncOp(t, proc, op, primitive, obj))
 
+    # -- observer attach path -------------------------------------------
+
+    def attach_to(self, sim, every: Optional[int] = None) -> None:
+        """Uniform observer hook (``Simulation.attach``): install this
+        sink on the machine, teeing when one is already attached.
+        ``every`` is accepted for interface symmetry and ignored."""
+        existing = sim.machine.trace
+        if existing is None:
+            sim.machine.set_trace(self)
+        elif isinstance(existing, TeeSink):
+            existing.sinks.append(self)
+        else:
+            sim.machine.set_trace(TeeSink(existing, self))
+
     # -- sink lifecycle -------------------------------------------------
 
     def emit(self, ev) -> None:

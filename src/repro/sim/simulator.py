@@ -24,6 +24,7 @@ from repro.sim.events import (
     EV_WRITE,
 )
 from repro.sim.results import SimulationResult
+from repro.stats.timeline import CompositeProfiler
 from repro.sync.primitives import SimBarrier, SimLock, SyncSpace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +43,7 @@ class Simulation:
         check_every: int = 0,
         profiler=None,
         profile_every: int = 5000,
+        observers: Sequence = (),
     ) -> None:
         if len(programs) > machine.config.n_processors:
             raise SimulationError(
@@ -54,8 +56,15 @@ class Simulation:
         self.workload = None
         self.max_events = max_events
         self.check_every = check_every
-        self.profiler = profiler
+        self.profiler = None
         self.profile_every = profile_every
+        #: :class:`repro.obs.metrics.SimInstruments` when a registry is
+        #: attached; None keeps the kernel allocation-free.
+        self.metrics = None
+        if profiler is not None:
+            self.attach(profiler, every=profile_every)
+        for obs in observers:
+            self.attach(obs)
         timing = machine.config.timing
         coalesce = machine.config.write_buffer_coalescing
         self.procs = [
@@ -68,6 +77,39 @@ class Simulation:
         self.n_participants = len(self.procs)
         self._heap: list[tuple[int, int]] = []
         self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, observer, every: Optional[int] = None) -> None:
+        """Attach an observer through the one uniform path.
+
+        Every observer kind hangs off the simulation the same way:
+        objects exposing ``attach_to(sim, every=)`` wire themselves in
+        (trace sinks tee onto ``machine.trace``, a
+        :class:`~repro.obs.metrics.MetricsRegistry` builds its pre-bound
+        instrument bundles); anything exposing ``sample(machine)``
+        registers as a sampling profiler, merged into a
+        :class:`~repro.stats.timeline.CompositeProfiler` when one is
+        already attached.  ``every`` overrides the sampling interval for
+        profilers and is forwarded to ``attach_to`` hooks.
+        """
+        hook = getattr(observer, "attach_to", None)
+        if hook is not None:
+            hook(self, every=every)
+            return
+        if hasattr(observer, "sample"):
+            if every is not None:
+                self.profile_every = every
+            if self.profiler is None:
+                self.profiler = observer
+            elif isinstance(self.profiler, CompositeProfiler):
+                self.profiler.profilers.append(observer)
+            else:
+                self.profiler = CompositeProfiler([self.profiler, observer])
+            return
+        raise SimulationError(
+            f"cannot attach {type(observer).__name__}: it exposes neither "
+            "attach_to(sim, every=) nor sample(machine)"
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -238,6 +280,10 @@ class Simulation:
                     wp.clock - wp.block_start,
                 )
                 trace.syncop(done, wpid, "acquire", "lock", lock.lock_id)
+            if self.metrics is not None:
+                self.metrics.sync_wait.labels("lock").observe(
+                    wp.clock - wp.block_start
+                )
             heapq.heappush(self._heap, (wp.clock, wpid))
 
     def _barrier(self, p: Processor, b: SimBarrier) -> None:
@@ -271,6 +317,10 @@ class Simulation:
                     q.clock - q.block_start,
                 )
                 trace.syncop(rdone, pid2, "depart", "barrier", b.barrier_id)
+            if self.metrics is not None:
+                self.metrics.sync_wait.labels("barrier").observe(
+                    q.clock - q.block_start
+                )
             heapq.heappush(self._heap, (q.clock, pid2))
         if sense_done > p.clock:
             p.acct.sync += sense_done - p.clock
@@ -291,4 +341,8 @@ class Simulation:
 
     def _collect(self) -> SimulationResult:
         elapsed = max((p.clock for p in self.procs), default=0)
+        if self.metrics is not None:
+            self.metrics.finish(self.events_processed, elapsed)
+            if self.machine.metrics is not None:
+                self.machine.metrics.finish(self.machine)
         return SimulationResult.build(self.machine, self.procs, elapsed)

@@ -1,0 +1,243 @@
+"""Bench harness, BENCH-file schema, and regression-gate tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchFileError,
+    compare_benches,
+    format_comparison,
+    has_regression,
+    load_bench,
+    run_bench,
+    suite_names,
+    write_bench,
+)
+from repro.bench.harness import run_suite
+from repro.bench.suites import SUITES, get_suite
+
+
+def make_bench(suites: dict) -> dict:
+    return {"schema": BENCH_SCHEMA, "timestamp": "t", "suites": suites}
+
+
+def entry(wall_s: float) -> dict:
+    return {"wall_s": wall_s}
+
+
+class TestSuites:
+    def test_every_suite_reports_work(self):
+        for suite in SUITES:
+            if suite.name in ("event_loop", "event_loop_instrumented", "sweep"):
+                continue  # covered below / via harness test
+            info = suite.run(True, 1)
+            assert info["work"] > 0 and info["unit"]
+
+    def test_event_loop_suite_carries_spec_key(self):
+        info = get_suite("event_loop").run(True, 1)
+        assert info["work"] > 1000
+        assert len(info["spec_key"]) == 24
+
+    def test_instrumented_suite_snapshot(self):
+        info = get_suite("event_loop_instrumented").run(True, 1)
+        assert "sim_events_processed" in info["snapshot"]
+
+    def test_get_suite_unknown(self):
+        assert get_suite("nope") is None
+
+
+class TestHarness:
+    def test_run_suite_keeps_min_wall(self):
+        result = run_suite(get_suite("l1_hit"), quick=True, repeats=2)
+        assert result["repeats"] == 2
+        assert result["wall_s"] == min(result["walls_s"])
+        assert result["throughput"] > 0
+
+    def test_run_bench_payload_schema(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        payload = run_bench(quick=True, repeats=1,
+                            only=["l1_hit", "event_loop_instrumented"])
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["cache_version"] >= 8
+        assert set(payload["suites"]) == {"l1_hit", "event_loop_instrumented"}
+        assert "metrics" in payload  # snapshot from the instrumented suite
+        path = write_bench(payload)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        assert load_bench(path)["suites"]["l1_hit"]["wall_s"] > 0
+
+    def test_run_bench_rejects_unknown_suite(self):
+        with pytest.raises(ValueError):
+            run_bench(quick=True, only=["warp_drive"])
+
+    def test_suite_names_stable(self):
+        assert "event_loop" in suite_names()
+        assert "sweep" in suite_names()
+
+
+class TestLoadBench:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchFileError, match="cannot read"):
+            load_bench(tmp_path / "nope.json")
+
+    def test_malformed_json(self, tmp_path):
+        f = tmp_path / "bad.json"
+        f.write_text("{not json")
+        with pytest.raises(BenchFileError, match="not valid JSON"):
+            load_bench(f)
+
+    def test_not_a_bench_file(self, tmp_path):
+        f = tmp_path / "other.json"
+        f.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(BenchFileError, match="no 'suites'"):
+            load_bench(f)
+
+    def test_wrong_schema(self, tmp_path):
+        f = tmp_path / "old.json"
+        f.write_text(json.dumps({"schema": 99, "suites": {}}))
+        with pytest.raises(BenchFileError, match="schema 99"):
+            load_bench(f)
+
+    def test_suite_without_wall(self, tmp_path):
+        f = tmp_path / "torn.json"
+        f.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA, "suites": {"x": {}}}))
+        with pytest.raises(BenchFileError, match="no wall_s"):
+            load_bench(f)
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(1.2)}),
+            threshold_pct=10,
+        )
+        assert rows[0]["status"] == "regression"
+        assert rows[0]["change_pct"] == pytest.approx(20.0)
+        assert has_regression(rows)
+
+    def test_improvement_detected(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(0.5)}),
+            threshold_pct=10,
+        )
+        assert rows[0]["status"] == "improvement"
+        assert not has_regression(rows)
+
+    def test_within_threshold_ok(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(1.05)}),
+            threshold_pct=10,
+        )
+        assert rows[0]["status"] == "ok"
+
+    def test_exactly_threshold_passes(self):
+        # Regression requires strictly more than the threshold.
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(1.1)}),
+            threshold_pct=10,
+        )
+        assert rows[0]["status"] == "ok"
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}),
+            make_bench({"a": entry(1.1000001)}),
+            threshold_pct=10,
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_zero_threshold_gates_any_slowdown(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(1.001)}),
+            threshold_pct=0,
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_missing_suite_gates(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0), "b": entry(1.0)}),
+            make_bench({"a": entry(1.0)}),
+        )
+        statuses = {r["suite"]: r["status"] for r in rows}
+        assert statuses == {"a": "ok", "b": "missing"}
+        assert has_regression(rows)
+
+    def test_new_suite_never_gates(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}),
+            make_bench({"a": entry(1.0), "c": entry(9.0)}),
+        )
+        statuses = {r["suite"]: r["status"] for r in rows}
+        assert statuses == {"a": "ok", "c": "new"}
+        assert not has_regression(rows)
+
+    def test_format_mentions_verdict(self):
+        rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(2.0)}),
+        )
+        text = format_comparison(rows, 10.0)
+        assert "FAIL: a" in text and "+100.0%" in text
+        ok_rows = compare_benches(
+            make_bench({"a": entry(1.0)}), make_bench({"a": entry(1.0)}),
+        )
+        assert "PASS" in format_comparison(ok_rows, 10.0)
+
+
+class TestCli:
+    def test_bench_quick_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_x.json"
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit", "--out", str(out)])
+        assert rc == 0
+        assert load_bench(out)["quick"] is True
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_compare_gate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(make_bench({"a": entry(1.0)})))
+        new.write_text(json.dumps(make_bench({"a": entry(2.0)})))
+        rc = main(["bench", "--compare", str(old), "--new", str(new),
+                   "--threshold", "10"])
+        assert rc == 1
+        assert "regression" in capsys.readouterr().out
+        # Generous threshold: the same 2x slowdown passes at 150%.
+        assert main(["bench", "--compare", str(old), "--new", str(new),
+                     "--threshold", "150"]) == 0
+
+    def test_bench_compare_malformed_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(make_bench({"a": entry(1.0)})))
+        rc = main(["bench", "--compare", str(bad), "--new", str(ok)])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bench_new_requires_compare(self, tmp_path, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "n.json"
+        f.write_text(json.dumps(make_bench({})))
+        assert main(["bench", "--new", str(f)]) == 2
+
+    def test_bench_run_then_compare_self(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--suites", "l1_hit", "--out", str(out)]) == 0
+        # Re-run against itself with a generous threshold: no regression.
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit", "--out", str(tmp_path / "n.json"),
+                   "--compare", str(out), "--threshold", "400"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
