@@ -1,0 +1,314 @@
+"""Certifying protocol-table compiler.
+
+The declarative E/O/S/I table in :mod:`repro.coma.protocol` is the
+simulator's source of truth, but resolving it per access — a dict lookup
+keyed by ``(state, event_name)`` returning a dataclass row — is
+interpreter overhead on the hottest path in the system.  This module
+*compiles* the table the way MemPool flattens its interconnect model:
+
+* **states** are already small ints (I/S/O/E = 0..3);
+* **events** are interned to small ints (:data:`EVENT_IDS`);
+* **bus actions** are interned to small ints (:data:`ACTION_IDS`);
+* the full table — including the sharer-dependent ``inject`` rows
+  (``next_state_sharers``) — is flattened into one precomputed
+  ``(state × event × sharers) -> next_state`` byte array plus a
+  ``(state × event) -> action`` byte array.
+
+A hot-path lookup is then two integer multiplies and an ``array``
+index — no hashing, no tuple allocation, no attribute walk.
+
+The compiler is *certifying*: :mod:`repro.analysis.certify` re-derives
+every compiled entry from the source table (rules C101–C103) and replays
+the PR 1 model checker's reachability graph against compiled dispatch
+(C104), so a miscompiled artifact cannot silently drive a simulation.
+:func:`decompile` inverts the compiled arrays back into
+:class:`~repro.coma.protocol.Transition` rows for the round-trip
+property test.
+
+:func:`build_dispatch` packages everything a machine needs at build
+time: the compiled protocol, the timing constants flattened from the
+:class:`~repro.common.config.TimingConfig` property chain into plain
+ints, and the interned victim-selection policy.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.common.errors import ProtocolError
+from repro.common.hotpath import hotpath
+from repro.coma.protocol import EVENTS, STATES, TRANSITIONS, Transition, validate_table
+from repro.coma.states import EXCLUSIVE, INVALID, SHARED, state_name
+from repro.mem import soa
+
+N_STATES = len(STATES)
+N_EVENTS = len(EVENTS)
+
+# The SoA storage layer cannot import the protocol package (it would
+# close an import cycle through repro.coma.__init__), so it duplicates
+# the two state codes it relies on.  Tie them together here, where both
+# sides are loaded: a drift in either module fails at first compile.
+assert soa.INVALID == INVALID and soa._SHARED == SHARED, (
+    "repro.mem.soa state encoding diverged from repro.coma.states"
+)
+
+#: Event names interned to small ints, in table order.
+EVENT_IDS: dict[str, int] = {name: i for i, name in enumerate(EVENTS)}
+EV_LOCAL_READ = EVENT_IDS["local_read"]
+EV_LOCAL_WRITE = EVENT_IDS["local_write"]
+EV_REMOTE_READ = EVENT_IDS["remote_read"]
+EV_REMOTE_WRITE = EVENT_IDS["remote_write"]
+EV_EVICT = EVENT_IDS["evict"]
+EV_INJECT = EVENT_IDS["inject"]
+
+#: Bus actions interned to small ints ("" = no bus traffic).
+ACTIONS: tuple[str, ...] = ("", "read", "read_excl", "upgrade", "replace")
+ACTION_IDS: dict[str, int] = {name: i for i, name in enumerate(ACTIONS)}
+ACT_NONE = ACTION_IDS[""]
+ACT_READ = ACTION_IDS["read"]
+ACT_READ_EXCL = ACTION_IDS["read_excl"]
+ACT_UPGRADE = ACTION_IDS["upgrade"]
+ACT_REPLACE = ACTION_IDS["replace"]
+
+#: Compiled encoding of "transition not allowed / no copy".
+NO_NEXT = -1
+
+#: Interned victim-selection policies (see ``compile_victim_policy``).
+#: The codes are owned by the storage layer: ``LineArray.victim_way``
+#: dispatches on them, so they are re-exported rather than redefined.
+VICTIM_LRU = soa.VICTIM_LRU
+VICTIM_SHARED_FIRST = soa.VICTIM_SHARED_FIRST
+VICTIM_NONINCLUSIVE = soa.VICTIM_NONINCLUSIVE
+
+
+class CompiledProtocol:
+    """The E/O/S/I table flattened into precomputed dispatch arrays.
+
+    ``next_state[(state*N_EVENTS + event)*2 + sharers]`` is the resulting
+    state (:data:`NO_NEXT` when the transition is not allowed), where
+    ``sharers`` is 1 when other nodes still hold Shared copies after the
+    event; ``action[state*N_EVENTS + event]`` is the interned bus action.
+    """
+
+    __slots__ = ("next_state", "action", "source")
+
+    # Interned ids mirrored as class attributes so dispatch sites holding
+    # only the compiled object need no module import.
+    EV_LOCAL_READ = EV_LOCAL_READ
+    EV_LOCAL_WRITE = EV_LOCAL_WRITE
+    EV_REMOTE_READ = EV_REMOTE_READ
+    EV_REMOTE_WRITE = EV_REMOTE_WRITE
+    EV_EVICT = EV_EVICT
+    EV_INJECT = EV_INJECT
+    ACT_NONE = ACT_NONE
+    ACT_READ = ACT_READ
+    ACT_READ_EXCL = ACT_READ_EXCL
+    ACT_UPGRADE = ACT_UPGRADE
+    ACT_REPLACE = ACT_REPLACE
+
+    def __init__(
+        self,
+        next_state: array,
+        action: array,
+        source: tuple[Transition, ...],
+    ) -> None:
+        self.next_state = next_state
+        self.action = action
+        self.source = source
+
+    # -- hot lookups ----------------------------------------------------
+
+    @hotpath
+    def resolved_next(self, state: int, event: int, sharers_exist: bool) -> int:
+        """Next state for ``(state, event)`` given surviving sharers;
+        :data:`NO_NEXT` when the transition is not allowed."""
+        idx = (state * N_EVENTS + event) * 2
+        if sharers_exist:
+            idx += 1
+        return self.next_state[idx]
+
+    @hotpath
+    def action_of(self, state: int, event: int) -> int:
+        """Interned bus action for ``(state, event)``."""
+        return self.action[state * N_EVENTS + event]
+
+    @hotpath
+    def allowed(self, state: int, event: int) -> bool:
+        """Whether the table allows ``event`` in ``state``."""
+        return self.next_state[(state * N_EVENTS + event) * 2] != NO_NEXT
+
+    # -- introspection (cold; certification and tests) ------------------
+
+    def entry(self, state: int, event: int) -> tuple[int, int, int]:
+        """``(next_alone, next_sharers, action)`` for one cell."""
+        base = (state * N_EVENTS + event) * 2
+        return (
+            self.next_state[base],
+            self.next_state[base + 1],
+            self.action[state * N_EVENTS + event],
+        )
+
+    def inject_pair(self, state: int) -> tuple[int, int]:
+        """``(next_without_sharers, next_with_sharers)`` for ``inject``."""
+        base = (state * N_EVENTS + EV_INJECT) * 2
+        return self.next_state[base], self.next_state[base + 1]
+
+
+def compile_protocol(
+    transitions: Sequence[Transition] = TRANSITIONS,
+) -> CompiledProtocol:
+    """Flatten ``transitions`` into a :class:`CompiledProtocol`.
+
+    The source table is validated for totality first
+    (:func:`~repro.coma.protocol.validate_table`), so a malformed table
+    fails loudly at compile time, never at dispatch time.
+    """
+    validate_table(transitions)
+    next_state = array("b", [NO_NEXT]) * (N_STATES * N_EVENTS * 2)
+    action = array("b", [ACT_NONE]) * (N_STATES * N_EVENTS)
+    for t in transitions:
+        ev = EVENT_IDS[t.event]
+        act = ACTION_IDS.get(t.bus_action)
+        if act is None:
+            raise ProtocolError(
+                f"({state_name(t.state)}, {t.event}): unknown bus action "
+                f"{t.bus_action!r} — cannot intern"
+            )
+        base = (t.state * N_EVENTS + ev) * 2
+        alone = NO_NEXT if t.next_state is None else t.next_state
+        shared = t.next_state_sharers if t.next_state_sharers is not None else t.next_state
+        next_state[base] = alone
+        next_state[base + 1] = NO_NEXT if shared is None else shared
+        action[t.state * N_EVENTS + ev] = act
+    return CompiledProtocol(next_state, action, tuple(transitions))
+
+
+def decompile(compiled: CompiledProtocol) -> tuple[Transition, ...]:
+    """Invert the compiled arrays back into table rows.
+
+    Rows come out in canonical (state-major, event order) with empty
+    ``notes``; ``next_state_sharers`` is reconstructed only where the
+    sharer-dependent slot differs from the plain one — exactly the
+    normal form the source table uses.  ``decompile(compile_protocol(T))``
+    therefore round-trips every semantic field of ``T``.
+    """
+    rows = []
+    for state in STATES:
+        for ev, event in enumerate(EVENTS):
+            alone, shared, act = compiled.entry(state, ev)
+            rows.append(Transition(
+                state=state,
+                event=event,
+                next_state=None if alone == NO_NEXT else alone,
+                bus_action=ACTIONS[act],
+                next_state_sharers=(
+                    None if shared == alone or shared == NO_NEXT else shared
+                ),
+            ))
+    return tuple(rows)
+
+
+# ----------------------------------------------------------------------
+# timing and policy interning
+# ----------------------------------------------------------------------
+
+class CompiledTiming:
+    """Timing constants flattened to plain ints at machine build time.
+
+    The :class:`~repro.common.config.TimingConfig` properties
+    (``nc_busy_ns`` and friends) recompute a division per access; the
+    compiled form resolves the whole attribute chain once so hot paths
+    read bare ints.
+    """
+
+    __slots__ = (
+        "l1_hit", "slc_hit", "slc_occ", "nc", "nc_busy",
+        "dram_lat", "dram_busy", "bus_phase", "bus_busy", "remote_overhead",
+    )
+
+    def __init__(self, timing) -> None:
+        self.l1_hit = timing.l1_hit_ns
+        self.slc_hit = timing.slc_hit_ns
+        self.slc_occ = timing.slc_occupancy_ns
+        self.nc = timing.nc_ns
+        self.nc_busy = timing.nc_busy_ns
+        self.dram_lat = timing.dram_latency_ns
+        self.dram_busy = timing.dram_busy_ns
+        self.bus_phase = timing.bus_phase_ns
+        self.bus_busy = timing.bus_busy_ns
+        self.remote_overhead = timing.remote_overhead_ns
+
+
+def compile_victim_policy(config) -> int:
+    """Intern the AM victim-selection policy to a small int."""
+    if config.am_victim_policy == "lru":
+        return VICTIM_LRU
+    return VICTIM_SHARED_FIRST if config.inclusive else VICTIM_NONINCLUSIVE
+
+
+@dataclass(frozen=True)
+class MachineDispatch:
+    """Everything a machine binds at build time to run compiled.
+
+    The ``st_*`` / ``act_*`` / ``inject_*`` fields are the protocol
+    resolutions the executable machine dispatches through — derived from
+    the compiled arrays here, and re-derived from the source table by the
+    certification pass so a stale or hand-patched dispatch cannot hide.
+    """
+
+    protocol: CompiledProtocol
+    timing: CompiledTiming
+    victim_mode: int
+    #: Supplier-side degradation after serving a remote read (E -> O).
+    st_degrade_remote_read: int
+    #: Interned ``local_write`` action per current state (len 4 tuple).
+    act_local_write: tuple[int, ...]
+    #: State taken when an upgrade completes (S/O + local_write).
+    st_upgrade: int
+    #: State taken when a read-exclusive miss completes (I + local_write).
+    st_write_miss: int
+    #: State a replica fill installs (I + local_read).
+    st_read_fill: int
+    #: ``(without_sharers, with_sharers)`` inject resolutions.
+    inject_from_invalid: tuple[int, int]
+    inject_from_shared: tuple[int, int]
+
+
+def build_dispatch(
+    config, transitions: Sequence[Transition] = TRANSITIONS
+) -> MachineDispatch:
+    """Compile the protocol, timing and policies for one machine."""
+    proto = compile_protocol(transitions)
+    return MachineDispatch(
+        protocol=proto,
+        timing=CompiledTiming(config.timing),
+        victim_mode=compile_victim_policy(config),
+        st_degrade_remote_read=proto.resolved_next(
+            EXCLUSIVE, EV_REMOTE_READ, False
+        ),
+        act_local_write=tuple(
+            proto.action_of(s, EV_LOCAL_WRITE) for s in STATES
+        ),
+        st_upgrade=proto.resolved_next(SHARED, EV_LOCAL_WRITE, False),
+        st_write_miss=proto.resolved_next(INVALID, EV_LOCAL_WRITE, False),
+        st_read_fill=proto.resolved_next(INVALID, EV_LOCAL_READ, True),
+        inject_from_invalid=proto.inject_pair(INVALID),
+        inject_from_shared=proto.inject_pair(SHARED),
+    )
+
+
+def transitions_equal(a: Iterable[Transition], b: Iterable[Transition]) -> bool:
+    """Semantic equality of two tables (ignores ``notes`` and row order)."""
+    def norm(rows):
+        return {
+            (t.state, t.event): (
+                t.next_state,
+                t.bus_action,
+                t.next_state_sharers
+                if t.next_state_sharers != t.next_state else None,
+            )
+            for t in rows
+        }
+    return norm(a) == norm(b)

@@ -22,6 +22,22 @@ EXC001   bare ``except:`` (swallows KeyboardInterrupt and typos alike)
 SYN001   file does not parse
 =======  ==============================================================
 
+Functions decorated ``@hotpath`` (:mod:`repro.common.hotpath`) are
+additionally held to the compiled-dispatch discipline anywhere in the
+tree — the decorator is the claim, these rules are the check:
+
+=======  ==============================================================
+HOT001   tuple- or string-keyed dict lookup in a ``@hotpath`` function:
+         interpreted table dispatch; intern the key to a small int at
+         build time (int-keyed index dicts are fine)
+HOT002   allocation (list/dict/set display, comprehension, ``list()``,
+         ``sorted()``, ...) in a ``@hotpath`` function; tuples are
+         exempt
+HOT003   attribute chain of depth >= 2 (``a.b.c``) re-resolved two or
+         more times in one ``@hotpath`` function — hoist the prefix
+         into a local
+=======  ==============================================================
+
 Suppress a finding for one line with a trailing ``# noqa: RULE`` (or
 ``# lint: disable=RULE``; comma-separate several IDs; a bare ``# noqa``
 suppresses everything on the line).  See ``docs/VERIFICATION.md``.
@@ -43,6 +59,9 @@ RULES = {
     "FLT001": "float equality in timing/latency code",
     "EXC001": "bare except",
     "SYN001": "syntax error",
+    "HOT001": "tuple/string-keyed dict lookup in a @hotpath function",
+    "HOT002": "allocation in a @hotpath function",
+    "HOT003": "attribute chain re-resolved in a @hotpath function",
 }
 
 #: Subsystems whose results feed simulated time / coherence decisions.
@@ -86,6 +105,12 @@ _MUTABLE_CALLS = frozenset({
     "list", "dict", "set", "bytearray",
     "collections.defaultdict", "collections.deque", "collections.Counter",
     "collections.OrderedDict",
+})
+
+#: Constructor calls HOT002 treats as allocations (``tuple`` is exempt:
+#: packing a fixed-arity return is cheap and has no growth cost).
+_HOT_ALLOC_CALLS = frozenset({
+    "list", "dict", "set", "frozenset", "bytearray", "sorted",
 })
 
 _SUPPRESS = re.compile(r"#\s*(?:noqa|lint:\s*disable=?)\s*:?\s*([A-Z0-9, ]*)")
@@ -205,11 +230,40 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hotpath(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hotpath(node)
         self.generic_visit(node)
+
+    # -- HOT001 / HOT002 / HOT003 -------------------------------------
+    def _is_hotpath(self, node) -> bool:
+        for dec in node.decorator_list:
+            name = self._dotted(dec)
+            if name is not None and (
+                name == "hotpath" or name.endswith(".hotpath")
+            ):
+                return True
+        return False
+
+    def _check_hotpath(self, node) -> None:
+        if not self._is_hotpath(node):
+            return
+        scan = _HotScan()
+        for stmt in node.body:
+            scan.visit(stmt)
+        for rule, target, message in scan.findings:
+            self._report(rule, target, f"{message} in @hotpath {node.name}()")
+        for chain, (count, first) in scan.chains.items():
+            if count >= 2:
+                prefix = chain.rsplit(".", 1)[0]
+                self._report(
+                    "HOT003", first,
+                    f"attribute chain {chain} resolved {count} times in "
+                    f"@hotpath {node.name}() — hoist {prefix} into a local",
+                )
 
     # -- FLT001 --------------------------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:
@@ -237,6 +291,114 @@ class _Linter(ast.NodeVisitor):
                 "catch a specific exception (repro.common.errors has the "
                 "hierarchy)",
             )
+        self.generic_visit(node)
+
+
+class _HotScan(ast.NodeVisitor):
+    """Collects HOT-rule evidence inside one ``@hotpath`` function body.
+
+    Nested function and lambda bodies are skipped — a nested def is
+    judged by its own decorators, not its enclosing function's.
+    """
+
+    def __init__(self) -> None:
+        self.findings: list[tuple[str, ast.AST, str]] = []
+        #: pure dotted chain (depth >= 2) -> (load count, first node)
+        self.chains: dict[str, tuple[int, ast.AST]] = {}
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- HOT001 --------------------------------------------------------
+    @staticmethod
+    def _key_kind(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Tuple):
+            return "tuple"
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return "string"
+        return None
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        kind = self._key_kind(node.slice)
+        if kind is not None:
+            self.findings.append((
+                "HOT001", node,
+                f"{kind}-keyed subscript — intern the key to a small int "
+                "at build time",
+            ))
+        self.generic_visit(node)
+
+    # -- HOT002 --------------------------------------------------------
+    def _alloc(self, node: ast.AST, what: str) -> None:
+        self.findings.append((
+            "HOT002", node,
+            f"{what} allocates per call — precompute it at build time or "
+            "hoist it out of the hot path",
+        ))
+
+    def visit_List(self, node: ast.List) -> None:
+        self._alloc(node, "list display")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._alloc(node, "dict display")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._alloc(node, "set display")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._alloc(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._alloc(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._alloc(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._alloc(node, "generator expression")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "get" and node.args:
+            kind = self._key_kind(node.args[0])
+            if kind is not None:
+                self.findings.append((
+                    "HOT001", node,
+                    f"{kind}-keyed .get() lookup — intern the key to a "
+                    "small int at build time",
+                ))
+        elif isinstance(func, ast.Name) and func.id in _HOT_ALLOC_CALLS:
+            self._alloc(node, f"{func.id}()")
+        self.generic_visit(node)
+
+    # -- HOT003 --------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Maximal pure-name chains only (a.b.c, not f().a.b).  Store and
+        # augmented-assignment targets count too: ``a.b.c = x`` resolves
+        # the a.b prefix exactly like a load does.
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name) and len(parts) >= 2:
+            chain = ".".join([cur.id, *reversed(parts)])
+            count, first = self.chains.get(chain, (0, node))
+            self.chains[chain] = (count + 1, first)
+            return  # pure name chain: nothing else underneath
         self.generic_visit(node)
 
 

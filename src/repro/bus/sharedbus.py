@@ -23,6 +23,10 @@ class SharedBus:
         self.line_size = line_size
         self.name = name
         self.resource = Resource(name)
+        #: Per-phase occupancy and latency, interned once (the TimingConfig
+        #: properties recompute the bandwidth scaling on every read).
+        self._busy_ns = timing.bus_busy_ns
+        self._phase_ns = timing.bus_phase_ns
         self.tx_count: dict[TxClass, int] = {c: 0 for c in TxClass}
         self.tx_bytes: dict[TxClass, int] = {c: 0 for c in TxClass}
         #: Optional :class:`repro.obs.sink.TraceSink`; None keeps
@@ -40,10 +44,23 @@ class SharedBus:
         ``bg`` routes the phase over the posted-write port (see
         :class:`repro.timing.resource.Resource`).
         """
-        start = self.resource.acquire(now, self.timing.bus_busy_ns, bg)
+        busy = self._busy_ns
+        r = self.resource
+        if bg:
+            start = r.bg_next_free
+            if start < now:
+                start = now
+            r.bg_next_free = start + busy
+        else:
+            start = r.next_free
+            if start < now:
+                start = now
+            r.next_free = start + busy
+        r.busy_ns += busy
+        r.uses += 1
         if self.metrics is not None:
-            self.metrics.phase(start - now, self.timing.bus_busy_ns)
-        return start + self.timing.bus_phase_ns
+            self.metrics.phase(start - now, busy)
+        return start + self._phase_ns
 
     def record(
         self, kind: TxKind, now: int = 0, origin: int = -1, line: int = -1

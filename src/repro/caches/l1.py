@@ -3,12 +3,18 @@
 The paper fixes the L1 at 4 KB direct-mapped; we keep it direct-mapped and
 scale the capacity with the working set (DESIGN.md section 2).  Because it
 is write-through into the SLC, evictions are always silent.
+
+With the default direct-mapped geometry the way number *is* the set
+index, so probes compile down to one modulo and one tag compare on the
+flat arrays — no dict, no object.  A configured associativity above 1
+falls back to the generic indexed path.
 """
 
 from __future__ import annotations
 
 from repro.common.config import CacheGeometry
-from repro.mem.setassoc import SetAssocArray
+from repro.common.hotpath import hotpath
+from repro.mem.soa import VICTIM_LRU, LineArray
 
 #: L1 lines have no coherence role of their own; a single valid state.
 _PRESENT = 1
@@ -17,36 +23,72 @@ _PRESENT = 1
 class L1Cache:
     """Direct-mapped (or configurably associative) first-level cache."""
 
-    def __init__(self, geometry: CacheGeometry) -> None:
-        self.array = SetAssocArray(geometry)
+    __slots__ = ("array", "_direct", "_nsets")
 
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.array = LineArray(geometry)
+        self._direct = geometry.assoc == 1
+        self._nsets = geometry.num_sets
+
+    @hotpath
     def lookup(self, line: int) -> bool:
         """Read probe; refreshes LRU on hit."""
-        e = self.array.lookup(line)
-        if e is None:
-            return False
-        self.array.touch(e)
+        a = self.array
+        if self._direct:
+            w = line % self._nsets
+            if a.line_a[w] != line or not a.state_a[w]:
+                return False
+        else:
+            wi = a.index.get(line)
+            if wi is None:
+                return False
+            w = wi
+        a.tick += 1
+        a.lru_a[w] = a.tick
         return True
 
+    @hotpath
     def fill(self, line: int) -> None:
         """Bring ``line`` in, silently displacing the victim way."""
-        if line in self.array:
+        a = self.array
+        if self._direct:
+            w = line % self._nsets
+            if a.state_a[w]:
+                old = a.line_a[w]
+                if old == line:
+                    return
+                del a.index[old]
+            a.line_a[w] = line
+            a.state_a[w] = _PRESENT
+            a.index[line] = w
+            a.tick += 1
+            a.lru_a[w] = a.tick
             return
-        set_idx = self.array.set_index(line)
-        victim = self.array.free_way(set_idx) or self.array.find_victim(set_idx)
-        self.array.fill(victim, line, _PRESENT)
+        if line in a.index:
+            return
+        set_idx = line % self._nsets
+        w = a.free_way_idx(set_idx)
+        if w < 0:
+            w = a.victim_way(set_idx, VICTIM_LRU)
+        a.fill_way(w, line, _PRESENT)
 
     def write_hit(self, line: int) -> bool:
         """Write probe (write-through, no-write-allocate): update on hit,
         never allocate on miss.  Returns whether the line was present."""
-        e = self.array.lookup(line)
-        if e is None:
-            return False
-        self.array.touch(e)
-        return True
+        return self.lookup(line)
 
+    @hotpath
     def invalidate(self, line: int) -> bool:
-        return self.array.invalidate_line(line)
+        a = self.array
+        w = a.index.get(line)
+        if w is None:
+            return False
+        a.line_a[w] = -1
+        a.state_a[w] = 0
+        a.dirty_a[w] = 0
+        a.aux_a[w] = 0
+        del a.index[line]
+        return True
 
     @property
     def occupancy(self) -> int:

@@ -188,6 +188,7 @@ def _cmd_protocol(_args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.certify import certify_machines, format_certification
     from repro.analysis.crosscheck import crosscheck
     from repro.analysis.liveness import check_liveness, format_liveness_report
     from repro.analysis.modelcheck import check_protocol, format_report
@@ -198,6 +199,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     lv = check_liveness(n_nodes=args.nodes, n_lines=args.lines)
     print(format_liveness_report(lv))
     ok = ok and lv.ok
+    cert = certify_machines(n_nodes=args.nodes)
+    print(format_certification(cert))
+    ok = ok and cert.ok
     if not args.no_crosscheck:
         xc = crosscheck(nodes=min(args.nodes, 3), depth=args.depth)
         status = "OK" if xc.ok else "DIVERGED"
@@ -268,6 +272,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from repro.analysis.lint import default_root, lint_file, lint_tree
@@ -288,10 +293,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.rules:
         wanted = set(args.rules)
         report.findings = [f for f in report.findings if f.rule in wanted]
-    if report.findings:
-        print(format_findings(report.findings))
-    n = report.stats.get("files", 0)
-    print(f"{len(report.findings)} finding(s) in {n} file(s)")
+    if args.format == "json" or args.out:
+        # Same shape the sanitizer report uses (provenance + stats +
+        # findings), so CI consumes both with one parser; lint findings
+        # additionally carry a 1-based source line.
+        from repro import __version__
+        from repro.obs.manifest import git_revision
+
+        payload = {
+            "provenance": {
+                "repro": __version__,
+                "git_rev": git_revision() or "unknown",
+                "tool": "coma-sim lint",
+            },
+            "stats": report.stats,
+            "findings": [
+                {"rule": f.rule, "message": f.message, "path": f.path,
+                 "line": f.line, "detail": f.detail}
+                for f in report.findings
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"report: {args.out}")
+        if args.format == "json":
+            print(text, end="")
+    if args.format != "json":
+        if report.findings:
+            print(format_findings(report.findings))
+        n = report.stats.get("files", 0)
+        print(f"{len(report.findings)} finding(s) in {n} file(s)")
     return 1 if report.findings else 0
 
 
@@ -532,6 +565,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="files or package roots (default: the repro package)")
     ln.add_argument("--rules", nargs="*", metavar="ID",
                     help="only report these rule IDs")
+    ln.add_argument("--format", choices=["text", "json"], default="text",
+                    help="output format (json mirrors the sanitize "
+                    "report shape)")
+    ln.add_argument("--out", metavar="PATH",
+                    help="also write the JSON report to a file (CI "
+                    "artifact)")
     ln.set_defaults(func=_cmd_lint)
 
     pf = sub.add_parser("profile", help="sharing/replication profile of a run")

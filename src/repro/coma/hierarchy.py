@@ -99,31 +99,32 @@ class HierarchicalComaMachine(ComaMachine):
             )
 
     def _remote_path(self, local: ComaNode, owner: ComaNode, now: int) -> int:
-        tm = self.timing
+        nc_busy = self._t_nc_busy
+        nc_ns = self._t_nc
         lg = self.group_buses[self.group_of(local.id)]
-        s = local.nc.acquire(now, tm.nc_busy_ns, self._bg)
-        t = lg.phase(s + tm.nc_ns, self._bg)  # group bus request
+        s = local.nc.acquire(now, nc_busy, self._bg)
+        t = lg.phase(s + nc_ns, self._bg)  # group bus request
         if self.same_group(local, owner):
             # Snooped within the group: owner answers over the group bus.
-            s = owner.nc.acquire(t, tm.nc_busy_ns, self._bg)
-            t = s + tm.nc_ns
-            s = owner.dram.acquire(t, tm.dram_busy_ns, self._bg)
-            t = lg.phase(s + tm.dram_latency_ns, self._bg)
+            s = owner.nc.acquire(t, nc_busy, self._bg)
+            t = s + nc_ns
+            s = owner.dram.acquire(t, self._t_dram_busy, self._bg)
+            t = lg.phase(s + self._t_dram_lat, self._bg)
         else:
             # Group directory forwards over the top bus to the owner group.
             og = self.group_buses[self.group_of(owner.id)]
-            t += tm.nc_ns                      # local group directory lookup
+            t += nc_ns                         # local group directory lookup
             t = self.bus.phase(t, self._bg)              # top bus request
-            t += tm.nc_ns                      # remote group directory
+            t += nc_ns                         # remote group directory
             t = og.phase(t, self._bg)                    # owner group bus
-            s = owner.nc.acquire(t, tm.nc_busy_ns, self._bg)
-            t = s + tm.nc_ns
-            s = owner.dram.acquire(t, tm.dram_busy_ns, self._bg)
-            t = og.phase(s + tm.dram_latency_ns, self._bg)
+            s = owner.nc.acquire(t, nc_busy, self._bg)
+            t = s + nc_ns
+            s = owner.dram.acquire(t, self._t_dram_busy, self._bg)
+            t = og.phase(s + self._t_dram_lat, self._bg)
             t = self.bus.phase(t, self._bg)              # top bus reply
-            t = lg.phase(t + tm.nc_ns, self._bg)         # back down the local group
-        s = local.nc.acquire(t, tm.nc_busy_ns, self._bg)
-        return s + tm.nc_ns
+            t = lg.phase(t + nc_ns, self._bg)            # back down the local group
+        s = local.nc.acquire(t, nc_busy, self._bg)
+        return s + nc_ns
 
     def _upgrade_broadcast(self, node: ComaNode, line: int, t: int) -> int:
         """Erase goes up only as far as copies exist (DDM's point: the
@@ -168,8 +169,8 @@ class HierarchicalComaMachine(ComaMachine):
                 b.record(kind, t, src.id, line)
             t = self.bus.phase(t, self._bg)
             t = dg.phase(t, self._bg)
-        s = dst.nc.acquire(t, self.timing.nc_busy_ns, self._bg)
-        dst.dram.acquire(s + self.timing.nc_ns, self.timing.dram_busy_ns, self._bg)
+        s = dst.nc.acquire(t, self._t_nc_busy, self._bg)
+        dst.dram.acquire(s + self._t_nc, self._t_dram_busy, self._bg)
 
     def node_scan_order(self, exclude_id: int, rotor: int):
         """In-group receivers first (rotating), then the rest — evicted

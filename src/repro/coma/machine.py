@@ -14,6 +14,16 @@ three entry points:
 All times are integer nanoseconds.  The machine never looks at data
 values — workloads keep real data on the Python side — so coherence here
 is about *where copies live*, which is all the paper's metrics need.
+
+The per-access paths run *compiled* (see :mod:`repro.analysis.compile`):
+at build time the machine interns the protocol table, the timing
+constants and the victim policy into plain ints bound as ``_t_*`` /
+``_st_*`` attributes, and line state is addressed as way numbers into the
+attraction memory's arrays-of-structs.  The certification pass of
+``coma-sim verify`` re-derives every one of these bindings from the
+declarative table, so the compiled machine cannot silently diverge from
+the protocol source.  Functions marked ``@hotpath`` are held to the HOT
+lint rules (no interpreted dispatch, no per-access allocation).
 """
 
 from __future__ import annotations
@@ -22,7 +32,6 @@ from typing import Optional
 
 from repro.bus.sharedbus import SharedBus
 from repro.bus.transaction import TxKind
-from repro.coma import protocol
 from repro.caches.l1 import L1Cache
 from repro.caches.slc import SecondLevelCache
 from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC, LineTable
@@ -42,8 +51,8 @@ from repro.coma.states import (
 )
 from repro.common.config import MachineConfig
 from repro.common.errors import ProtocolError
+from repro.common.hotpath import hotpath
 from repro.mem.address import AddressSpace
-from repro.mem.setassoc import Entry
 from repro.stats.counters import Counters
 from repro.timing.resource import Resource
 
@@ -58,6 +67,11 @@ class ComaMachine:
     """A 16-processor (configurable) cluster-based COMA memory system."""
 
     def __init__(self, config: MachineConfig, space: AddressSpace) -> None:
+        # Deferred: repro.analysis's package init imports this module back
+        # (the cross-checker drives ComaMachine), so the compiler can only
+        # be pulled in at machine build time, never at import time.
+        from repro.analysis.compile import build_dispatch
+
         config._require_sized()
         if space.page_size != config.page_size:
             raise ProtocolError(
@@ -82,9 +96,37 @@ class ComaMachine:
         self.slc_res: list[Resource] = [
             Resource(f"slc{p}") for p in range(config.n_processors)
         ]
+        #: Compiled dispatch bundle: flattened protocol table, interned
+        #: timing and policies.  ``coma-sim verify`` certifies every
+        #: binding below against the declarative table (rules C101-C104).
+        self.dispatch = build_dispatch(config)
+        tm = self.dispatch.timing
+        self._t_l1 = tm.l1_hit
+        self._t_slc = tm.slc_hit
+        self._t_slc_occ = tm.slc_occ
+        self._t_nc = tm.nc
+        self._t_nc_busy = tm.nc_busy
+        self._t_dram_lat = tm.dram_lat
+        self._t_dram_busy = tm.dram_busy
+        self._t_remote = tm.remote_overhead
+        #: Supplier-side degradation on a snooped remote read (E -> O).
+        self._st_degrade = self.dispatch.st_degrade_remote_read
+        self._victim_mode = self.dispatch.victim_mode
+        #: (no-surviving-sharers, sharers-survive) inject resolutions.
+        self._inj_invalid = self.dispatch.inject_from_invalid
+        self._inj_shared = self.dispatch.inject_from_shared
+        self._inclusive = config.inclusive
+        self._ppn = config.procs_per_node
+        self._page_home = space.page_home
+        self._page_size = space.page_size
         self.repl = ReplacementEngine(self)
         self._shift = config.line_shift
         self._node_of = [config.node_of_proc(p) for p in range(config.n_processors)]
+        #: Direct-mapped L1 probes are opened in line in read()/write():
+        #: the backing arrays are pre-bound per processor.
+        self._l1_direct = l1_geom.assoc == 1
+        self._l1_nsets = l1_geom.num_sets
+        self._l1_arrays = [l1.array for l1 in self.l1s]
         #: Time of the operation currently being processed; used by
         #: background actions (back-invalidations, relocations) so they
         #: charge resource occupancy at a sensible instant.
@@ -119,6 +161,7 @@ class ComaMachine:
     # processor-facing operations
     # ------------------------------------------------------------------
 
+    @hotpath
     def read(self, proc: int, addr: int, now: int) -> tuple[int, str]:
         """Processor ``proc`` loads ``addr`` at time ``now``.
 
@@ -127,86 +170,129 @@ class ComaMachine:
         self.now = now
         c = self.counters
         c.reads += 1
+        trace = self.trace
+        metrics = self.metrics
         line = addr >> self._shift
-        node = self.nodes[self._node_of[proc]]
-        self._ensure_page(addr, node, now)
+        if (addr // self._page_size) not in self._page_home:
+            self._materialize_page(addr, self.nodes[self._node_of[proc]], now)
 
-        if self.l1s[proc].lookup(line):
+        if self._l1_direct:
+            a = self._l1_arrays[proc]
+            w = line % self._l1_nsets
+            if a.line_a[w] == line and a.state_a[w]:
+                a.tick += 1
+                a.lru_a[w] = a.tick
+                hit = True
+            else:
+                hit = False
+        else:
+            hit = self.l1s[proc].lookup(line)
+        if hit:
             c.l1_read_hits += 1
-            done = now + self.timing.l1_hit_ns
-            if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_L1, done - now,
+            done = now + self._t_l1
+            if trace is not None:
+                trace.access(now, proc, "r", line, LEVEL_L1, done - now,
                                   addr)
-            if self.metrics is not None:
-                self.metrics.access("r", LEVEL_L1, done - now)
+            if metrics is not None:
+                metrics.access("r", LEVEL_L1, done - now)
             return done, LEVEL_L1
 
+        node = self.nodes[self._node_of[proc]]
+        shadow = node.shadow
         slc = self.slcs[proc]
-        start = self.slc_res[proc].acquire(now, self.timing.slc_occupancy_ns, self._bg)
-        if slc.lookup(line) is not None:
+        r = self.slc_res[proc]
+        occ = self._t_slc_occ
+        if self._bg:
+            start = r.acquire(now, occ, True)
+        else:
+            start = r.next_free
+            if start < now:
+                start = now
+            r.next_free = start + occ
+            r.busy_ns += occ
+            r.uses += 1
+        sw = slc.index.get(line)
+        if sw is not None:
+            sa = slc.array
+            sa.tick += 1
+            sa.lru_a[sw] = sa.tick
             c.slc_read_hits += 1
-            self.l1s[proc].fill(line)
-            done = start + self.timing.slc_hit_ns
-            if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_SLC, done - now,
+            if self._l1_direct:
+                a = self._l1_arrays[proc]
+                w = line % self._l1_nsets
+                if a.line_a[w] != line or not a.state_a[w]:
+                    if a.state_a[w]:
+                        del a.index[a.line_a[w]]
+                    a.line_a[w] = line
+                    a.state_a[w] = 1
+                    a.index[line] = w
+                    a.tick += 1
+                    a.lru_a[w] = a.tick
+            else:
+                self.l1s[proc].fill(line)
+            done = start + self._t_slc
+            if trace is not None:
+                trace.access(now, proc, "r", line, LEVEL_SLC, done - now,
                                   addr)
-            if self.metrics is not None:
-                self.metrics.access("r", LEVEL_SLC, done - now)
+            if metrics is not None:
+                metrics.access("r", LEVEL_SLC, done - now)
             return done, LEVEL_SLC
 
         # Node level: the attraction memory (or the overflow buffer).
-        entry = node.am.lookup(line)
-        if entry is not None:
+        am = node.am
+        way = am.index.get(line)
+        if way is not None:
             done = self._am_access(node, now)
-            node.am.touch(entry)
-            if node.shadow is not None:
-                node.shadow.access(line)
+            am.tick += 1
+            am.lru_a[way] = am.tick
+            if shadow is not None:
+                shadow.access(line)
             c.am_read_hits += 1
-            self._fill_hierarchy(proc, node, line, entry)
-            if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
+            self._fill_hierarchy(proc, node, line, way)
+            if trace is not None:
+                trace.access(now, proc, "r", line, LEVEL_AM, done - now,
                                   addr)
-            if self.metrics is not None:
-                self.metrics.access("r", LEVEL_AM, done - now)
-                self.metrics.node_hit(node.id)
+            if metrics is not None:
+                metrics.access("r", LEVEL_AM, done - now)
+                metrics.node_hit(node.id)
             return done, LEVEL_AM
         if line in node.overflow:
             done = self._am_access(node, now)
-            if node.shadow is not None:
-                node.shadow.access(line)
+            if shadow is not None:
+                shadow.access(line)
             c.overflow_read_hits += 1
-            if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
+            if trace is not None:
+                trace.access(now, proc, "r", line, LEVEL_AM, done - now,
                                   addr)
-            if self.metrics is not None:
-                self.metrics.access("r", LEVEL_AM, done - now)
-                self.metrics.node_hit(node.id)
+            if metrics is not None:
+                metrics.access("r", LEVEL_AM, done - now)
+                metrics.node_hit(node.id)
             return done, LEVEL_AM
-        if not self.config.inclusive:
+        if not self._inclusive:
             sr = node.slc_resident.get(line)
             if sr is not None:
                 # Another local SLC supplies the line through the node
                 # controller (intra-node cache-to-cache).
                 done = self._am_access(node, now)
-                if node.shadow is not None:
-                    node.shadow.access(line)
+                if shadow is not None:
+                    shadow.access(line)
                 c.slc_neighbor_hits += 1
                 self._fill_slc_resident(proc, node, line, sr)
-                if self.trace is not None:
-                    self.trace.access(now, proc, "r", line, LEVEL_AM, done - now,
+                if trace is not None:
+                    trace.access(now, proc, "r", line, LEVEL_AM, done - now,
                                   addr)
-                if self.metrics is not None:
-                    self.metrics.access("r", LEVEL_AM, done - now)
-                    self.metrics.node_hit(node.id)
+                if metrics is not None:
+                    metrics.access("r", LEVEL_AM, done - now)
+                    metrics.node_hit(node.id)
                 return done, LEVEL_AM
 
         # Read node miss.
         c.node_read_misses += 1
-        if self.metrics is not None:
-            self.metrics.node_miss(node.id)
+        if metrics is not None:
+            metrics.node_miss(node.id)
         self._classify_read_miss(node, line)
-        if node.shadow is not None:
-            node.shadow.access(line)
+        if shadow is not None:
+            shadow.access(line)
         info = self.lines.get(line)
         owner = self.nodes[info.owner_node]
         self._record_remote(TxKind.READ_DATA, node, owner, line)
@@ -218,26 +304,26 @@ class ComaMachine:
         way = self.repl.make_room(node, line, t, mandatory=False)
         if way is None:
             # Uncached read: data delivered, no local copy retained.
-            done = t + self.timing.remote_overhead_ns
-            if self.trace is not None:
-                self.trace.access(now, proc, "r", line, LEVEL_REMOTE,
+            done = t + self._t_remote
+            if trace is not None:
+                trace.access(now, proc, "r", line, LEVEL_REMOTE,
                                   done - now, addr)
-            if self.metrics is not None:
-                self.metrics.access("r", LEVEL_REMOTE, done - now)
+            if metrics is not None:
+                metrics.access("r", LEVEL_REMOTE, done - now)
             return done, LEVEL_REMOTE
-        node.am.fill(way, line, SHARED)
+        am.fill_way(way, line, SHARED)
         node.note_present(line)
         info.sharers.add(node.id)
-        if self.trace is not None:
-            self.trace.transition(t, node.id, line, "fill", "I", "S")
-        s = node.dram.acquire(t, self.timing.dram_busy_ns, self._bg)
-        done = s + self.timing.dram_latency_ns + self.timing.remote_overhead_ns
+        if trace is not None:
+            trace.transition(t, node.id, line, "fill", "I", "S")
+        s = node.dram.acquire(t, self._t_dram_busy, self._bg)
+        done = s + self._t_dram_lat + self._t_remote
         self._fill_hierarchy(proc, node, line, way)
-        if self.trace is not None:
-            self.trace.access(now, proc, "r", line, LEVEL_REMOTE,
+        if trace is not None:
+            trace.access(now, proc, "r", line, LEVEL_REMOTE,
                                   done - now, addr)
-        if self.metrics is not None:
-            self.metrics.access("r", LEVEL_REMOTE, done - now)
+        if metrics is not None:
+            metrics.access("r", LEVEL_REMOTE, done - now)
         return done, LEVEL_REMOTE
 
     def write(self, proc: int, addr: int, now: int) -> int:
@@ -290,50 +376,67 @@ class ComaMachine:
     # write machinery
     # ------------------------------------------------------------------
 
+    @hotpath
     def _write_access(self, proc: int, addr: int, now: int) -> tuple[int, str]:
         self.now = now
         c = self.counters
         line = addr >> self._shift
-        node = self.nodes[self._node_of[proc]]
-        self._ensure_page(addr, node, now)
+        trace = self.trace
+        if (addr // self._page_size) not in self._page_home:
+            self._materialize_page(addr, self.nodes[self._node_of[proc]], now)
 
-        self.l1s[proc].write_hit(line)  # write-through, no-write-allocate
+        # Write-through, no-write-allocate L1 probe.
+        if self._l1_direct:
+            a = self._l1_arrays[proc]
+            w = line % self._l1_nsets
+            if a.line_a[w] == line and a.state_a[w]:
+                a.tick += 1
+                a.lru_a[w] = a.tick
+        else:
+            self.l1s[proc].write_hit(line)
+        node = self.nodes[self._node_of[proc]]
+        shadow = node.shadow
         slc = self.slcs[proc]
-        slc_hit = line in slc
+        slc_hit = line in slc.index
         info = self.lines.get(line)
 
-        entry = node.am.lookup(line)
+        am = node.am
+        way = am.index.get(line)
         sr = None
-        if entry is not None:
-            local_state = entry.state
+        if way is not None:
+            local_state = am.state_a[way]
             where = LOC_AM
         elif line in node.overflow:
             local_state = node.overflow[line]
             where = LOC_OVERFLOW
+            way = -1
         else:
-            sr = node.slc_resident.get(line) if not self.config.inclusive else None
+            sr = node.slc_resident.get(line) if not self._inclusive else None
             local_state = sr[1] if sr is not None else INVALID
             where = LOC_SLC
+            way = -1
 
         if local_state == EXCLUSIVE:
-            if node.shadow is not None:
-                node.shadow.access(line)
-            if entry is not None:
-                node.am.touch(entry)
-            return self._local_write_finish(proc, node, line, entry, sr, slc_hit, now)
+            if shadow is not None:
+                shadow.access(line)
+            if way >= 0:
+                am.tick += 1
+                am.lru_a[way] = am.tick
+            return self._local_write_finish(proc, node, line, way, sr, slc_hit, now)
 
-        if local_state in (OWNER, SHARED):
+        if local_state == OWNER or local_state == SHARED:
             # Upgrade: erase every other copy, take exclusive ownership.
             c.upgrades += 1
-            s = node.nc.acquire(now, self.timing.nc_busy_ns, self._bg)
-            t = self._upgrade_broadcast(node, line, s + self.timing.nc_ns)
+            s = node.nc.acquire(now, self._t_nc_busy, self._bg)
+            t = self._upgrade_broadcast(node, line, s + self._t_nc)
             self._invalidate_others(line, node)
-            if self.trace is not None:
-                self.trace.transition(t, node.id, line, "upgrade",
+            if trace is not None:
+                trace.transition(t, node.id, line, "upgrade",
                                       state_name(local_state), "E")
-            if entry is not None:
-                entry.state = EXCLUSIVE
-                node.am.touch(entry)
+            if way >= 0:
+                am.state_a[way] = EXCLUSIVE
+                am.tick += 1
+                am.lru_a[way] = am.tick
             elif where == LOC_OVERFLOW:
                 node.overflow[line] = EXCLUSIVE
             else:
@@ -341,10 +444,12 @@ class ComaMachine:
                 sr[1] = EXCLUSIVE
             info.owner_node = node.id
             info.owner_loc = where
-            info.sharers.clear()
-            if node.shadow is not None:
-                node.shadow.access(line)
-            return self._local_write_finish(proc, node, line, entry, sr, slc_hit, t)
+            # One clear() per exclusive branch; hoisting would tax the
+            # branches that never touch it.
+            info.sharers.clear()  # noqa: HOT003
+            if shadow is not None:
+                shadow.access(line)
+            return self._local_write_finish(proc, node, line, way, sr, slc_hit, t)
 
         # Write node miss: read-exclusive on the bus.
         c.node_write_misses += 1
@@ -357,40 +462,45 @@ class ComaMachine:
         self._invalidate_others(line, node)
         way = self.repl.make_room(node, line, t, mandatory=True)
         assert way is not None, "mandatory make_room returned None"
-        if self.trace is not None:
-            self.trace.transition(t, node.id, line, "read_exclusive", "I", "E")
-        node.am.fill(way, line, EXCLUSIVE)
+        if trace is not None:
+            trace.transition(t, node.id, line, "read_exclusive", "I", "E")
+        am.fill_way(way, line, EXCLUSIVE)
         node.note_present(line)
         info.owner_node = node.id
         info.owner_loc = LOC_AM
         info.sharers.clear()
-        if node.shadow is not None:
-            node.shadow.access(line)
-        s = node.dram.acquire(t, self.timing.dram_busy_ns, self._bg)
-        t = s + self.timing.dram_latency_ns
+        if shadow is not None:
+            shadow.access(line)
+        s = node.dram.acquire(t, self._t_dram_busy, self._bg)
+        t = s + self._t_dram_lat
         self._fill_hierarchy(proc, node, line, way)
         self.slcs[proc].mark_dirty(line)
-        return t + self.timing.remote_overhead_ns, LEVEL_REMOTE
+        return t + self._t_remote, LEVEL_REMOTE
 
+    @hotpath
     def _local_write_finish(
         self,
         proc: int,
         node: ComaNode,
         line: int,
-        entry: Optional[Entry],
+        way: int,
         sr: Optional[list],
         slc_hit: bool,
         t: int,
     ) -> tuple[int, str]:
-        """Complete a write whose node already holds exclusive ownership."""
+        """Complete a write whose node already holds exclusive ownership.
+
+        ``way`` is the line's way in the node's AM, or -1 when the owner
+        copy sits in the overflow buffer or (non-inclusive) a local SLC.
+        """
         slc = self.slcs[proc]
         if slc_hit:
-            s = self.slc_res[proc].acquire(t, self.timing.slc_occupancy_ns, self._bg)
+            s = self.slc_res[proc].acquire(t, self._t_slc_occ, self._bg)
             slc.mark_dirty(line)
-            return s + self.timing.slc_hit_ns, LEVEL_SLC
-        if entry is not None:
+            return s + self._t_slc, LEVEL_SLC
+        if way >= 0:
             done = self._am_access(node, t)
-            self._fill_hierarchy(proc, node, line, entry)
+            self._fill_hierarchy(proc, node, line, way)
             slc.mark_dirty(line)
             return done, LEVEL_AM
         if sr is not None:
@@ -408,13 +518,14 @@ class ComaMachine:
 
     def _owner_to_shared_state(self, owner: ComaNode, line: int, info) -> None:
         """After supplying a read copy, the owner snoops ``remote_read``
-        and degrades per the protocol table (E -> O; O stays O)."""
-        degraded = protocol.next_state(EXCLUSIVE, "remote_read")
+        and degrades per the compiled table (E -> O; O stays O)."""
+        degraded = self._st_degrade
         changed = False
-        oentry = owner.am.lookup(line)
-        if oentry is not None:
-            if oentry.state == EXCLUSIVE:
-                oentry.state = degraded
+        am = owner.am
+        ow = am.index.get(line)
+        if ow is not None:
+            if am.state_a[ow] == EXCLUSIVE:
+                am.state_a[ow] = degraded
                 changed = True
         elif line in owner.overflow:
             if owner.overflow[line] == EXCLUSIVE:
@@ -441,9 +552,9 @@ class ComaMachine:
             if sid == writer.id:
                 continue
             n = self.nodes[sid]
-            entry = n.am.lookup(line)
-            if entry is not None:
-                self.strip_node_copy(n, entry, REMOVED_INVALIDATED)
+            w = n.am.index.get(line)
+            if w is not None:
+                self.strip_node_copy(n, w, REMOVED_INVALIDATED)
             else:
                 sr = n.slc_resident.pop(line, None)
                 if sr is None:
@@ -459,11 +570,11 @@ class ComaMachine:
         if info.owner_node != writer.id:
             onode = self.nodes[info.owner_node]
             if info.owner_loc == LOC_AM:
-                entry = onode.am.lookup(line)
-                if entry is None:
+                w = onode.am.index.get(line)
+                if w is None:
                     raise ProtocolError(f"owner {onode.id} lost line {line:#x}")
-                prev = entry.state
-                self.strip_node_copy(onode, entry, REMOVED_INVALIDATED)
+                prev = onode.am.state_a[w]
+                self.strip_node_copy(onode, w, REMOVED_INVALIDATED)
             elif info.owner_loc == LOC_OVERFLOW:
                 prev = onode.overflow.pop(line)
                 onode.note_removed(line, REMOVED_INVALIDATED)
@@ -481,52 +592,58 @@ class ComaMachine:
                 self.trace.transition(self.now, onode.id, line, "invalidate",
                                       state_name(prev), "I")
 
-    def drop_shared_copy(self, node: ComaNode, entry: Entry) -> None:
-        """Silently drop a Shared replica (safe: an owner exists elsewhere).
+    def drop_shared_copy(self, node: ComaNode, way: int) -> None:
+        """Silently drop the Shared replica held in ``way`` of ``node``'s
+        AM (safe: an owner exists elsewhere).
 
         In a non-inclusive hierarchy, local SLC copies keep the node a
         sharer: only the AM way is surrendered.
         """
-        assert entry.state == SHARED
-        line = entry.line
-        if not self.config.inclusive and entry.aux:
-            node.slc_resident[line] = [entry.aux, SHARED]
-            entry.aux = 0
-            node.am.invalidate(entry)
+        am = node.am
+        assert am.state_a[way] == SHARED
+        line = am.line_a[way]
+        aux = am.aux_a[way]
+        if not self._inclusive and aux:
+            node.slc_resident[line] = [aux, SHARED]
+            am.aux_a[way] = 0
+            am.invalidate_way(way)
             return
         info = self.lines.get(line)
         info.sharers.discard(node.id)
         self.counters.shared_drops += 1
         if self.trace is not None:
             self.trace.transition(self.now, node.id, line, "drop", "S", "I")
-        self.strip_node_copy(node, entry, REMOVED_EVICTED)
+        self.strip_node_copy(node, way, REMOVED_EVICTED)
 
-    def strip_node_copy(self, node: ComaNode, entry: Entry, reason: str) -> None:
-        """Remove an AM entry from ``node``: back-invalidate the local SLCs
+    def strip_node_copy(self, node: ComaNode, way: int, reason: str) -> None:
+        """Remove AM ``way`` from ``node``: back-invalidate the local SLCs
         (inclusion), update shadow/miss bookkeeping, invalidate the way."""
-        line = entry.line
-        self.backinvalidate_slcs(node, entry)
+        am = node.am
+        line = am.line_a[way]
+        self.backinvalidate_slcs(node, way)
         node.note_removed(line, reason)
         if reason == REMOVED_INVALIDATED and node.shadow is not None:
             node.shadow.remove(line)
-        node.am.invalidate(entry)
+        am.invalidate_way(way)
 
-    def backinvalidate_slcs(self, node: ComaNode, entry: Entry) -> None:
-        """Purge ``entry.line`` from every local SLC/L1 caching it."""
-        if entry.aux == 0:
+    def backinvalidate_slcs(self, node: ComaNode, way: int) -> None:
+        """Purge the line in AM ``way`` from every local SLC/L1 caching it."""
+        am = node.am
+        aux = am.aux_a[way]
+        if aux == 0:
             return
-        self._invalidate_mask(node, entry.line, entry.aux)
-        entry.aux = 0
+        self._invalidate_mask(node, am.line_a[way], aux)
+        am.aux_a[way] = 0
 
     def _invalidate_mask(self, node: ComaNode, line: int, mask: int) -> None:
-        base = node.id * self.config.procs_per_node
+        base = node.id * self._ppn
         idx = 0
         while mask:
             if mask & 1:
                 p = base + idx
                 self.slcs[p].invalidate(line)
                 self.l1s[p].invalidate(line)
-                self.slc_res[p].acquire(self.now, self.timing.slc_occupancy_ns, self._bg)
+                self.slc_res[p].acquire(self.now, self._t_slc_occ, self._bg)
                 self.counters.back_invalidations += 1
             mask >>= 1
             idx += 1
@@ -535,8 +652,9 @@ class ComaMachine:
     # fills, paging, timing
     # ------------------------------------------------------------------
 
+    @hotpath
     def _fill_hierarchy(
-        self, proc: int, node: ComaNode, line: int, am_entry: Entry
+        self, proc: int, node: ComaNode, line: int, way: int
     ) -> None:
         """Install ``line`` into ``proc``'s SLC and L1 after an AM-level hit
         or a remote fill, handling the SLC victim's write-back.
@@ -549,27 +667,43 @@ class ComaMachine:
         ``slc_resident``.  The L1 fill happens only if the line survived
         in this SLC.
         """
-        am_entry.aux |= 1 << (proc % self.config.procs_per_node)
-        victim = self.slcs[proc].fill(line)
-        if victim is not None:
-            self._handle_slc_victim(proc, node, victim)
-        if line in self.slcs[proc]:
-            self.l1s[proc].fill(line)
+        node.am.aux_a[way] |= 1 << (proc % self._ppn)
+        slc = self.slcs[proc]
+        packed = slc.fill(line)
+        if packed >= 0:
+            self._handle_slc_victim(proc, node, packed)
+        if line in slc.index:
+            if self._l1_direct:
+                a = self._l1_arrays[proc]
+                w = line % self._l1_nsets
+                if a.line_a[w] != line or not a.state_a[w]:
+                    if a.state_a[w]:
+                        del a.index[a.line_a[w]]
+                    a.line_a[w] = line
+                    a.state_a[w] = 1
+                    a.index[line] = w
+                    a.tick += 1
+                    a.lru_a[w] = a.tick
+            else:
+                self.l1s[proc].fill(line)
 
+    @hotpath
     def _fill_slc_resident(
         self, proc: int, node: ComaNode, line: int, sr: list
     ) -> None:
         """Non-inclusive: install a line that lives only in local SLCs."""
-        sr[0] |= 1 << (proc % self.config.procs_per_node)
-        if line not in self.slcs[proc]:
-            victim = self.slcs[proc].fill(line)
-            if victim is not None:
-                self._handle_slc_victim(proc, node, victim)
-        if line in self.slcs[proc]:
+        sr[0] |= 1 << (proc % self._ppn)
+        slc = self.slcs[proc]
+        if line not in slc.index:
+            packed = slc.fill(line)
+            if packed >= 0:
+                self._handle_slc_victim(proc, node, packed)
+        if line in slc.index:
             self.l1s[proc].fill(line)
 
-    def _handle_slc_victim(self, proc: int, node: ComaNode, victim) -> None:
-        """Consequences of an SLC eviction.
+    @hotpath
+    def _handle_slc_victim(self, proc: int, node: ComaNode, packed: int) -> None:
+        """Consequences of an SLC eviction (``packed = line << 1 | dirty``).
 
         Inclusive hierarchy: clear the AM entry's presence bit and write
         back dirty data.  Non-inclusive hierarchy: the evicted line may
@@ -578,14 +712,25 @@ class ComaMachine:
         owner through the normal replacement machinery) so the datum is
         never lost.
         """
-        line = victim.line
-        bit = 1 << (proc % self.config.procs_per_node)
-        self.l1s[proc].invalidate(line)
-        ventry = node.am.lookup(line)
-        if ventry is not None:
-            ventry.aux &= ~bit
-            if victim.dirty:
-                node.dram.acquire(self.now, self.timing.dram_busy_ns, self._bg)
+        line = packed >> 1
+        bit = 1 << (proc % self._ppn)
+        if self._l1_direct:
+            a = self._l1_arrays[proc]
+            w = line % self._l1_nsets
+            if a.line_a[w] == line and a.state_a[w]:
+                a.line_a[w] = -1
+                a.state_a[w] = 0
+                del a.index[line]
+        else:
+            self.l1s[proc].invalidate(line)
+        am = node.am
+        vw = am.index.get(line)
+        if vw is not None:
+            am.aux_a[vw] &= ~bit
+            if packed & 1:
+                # Dirty-writeback branches are exclusive; each resolves
+                # node.dram once, so there is no prefix worth hoisting.
+                node.dram.acquire(self.now, self._t_dram_busy, self._bg)  # noqa: HOT003
                 self.counters.slc_writebacks += 1
             return
         sr = node.slc_resident.get(line)
@@ -608,41 +753,84 @@ class ComaMachine:
         # Last copy of an owner line: reinsert into the attraction memory.
         way = self.repl.make_room(node, line, self.now, mandatory=True)
         assert way is not None
-        node.am.fill(way, line, state)
+        am.fill_way(way, line, state)
         node.note_present(line)
         info.owner_loc = LOC_AM
-        node.dram.acquire(self.now, self.timing.dram_busy_ns, self._bg)
+        node.dram.acquire(self.now, self._t_dram_busy, self._bg)
         self.counters.slc_owner_reinserts += 1
 
     def _ensure_page(self, addr: int, node: ComaNode, now: int) -> None:
         """Materialize the page on first touch: its lines appear in the
         toucher's AM in Exclusive state, instantly and with no processor
         delay (paper section 3)."""
-        page = self.space.page_of(addr)
-        if page in self.space.page_home:
+        if (addr // self._page_size) in self._page_home:
             return
+        self._materialize_page(addr, node, now)
+
+    def _materialize_page(self, addr: int, node: ComaNode, now: int) -> None:
+        page = self.space.page_of(addr)
         self.space.ensure_page(addr, node.id)
         self.counters.pages_allocated += 1
         for line in self.space.lines_of_page(page, self.config.line_size):
             self.lines.materialize(line, node.id)
             way = self.repl.make_room(node, line, now, mandatory=True)
             assert way is not None
-            node.am.fill(way, line, EXCLUSIVE)
+            node.am.fill_way(way, line, EXCLUSIVE)
             node.note_present(line)
             if self.trace is not None:
                 self.trace.transition(now, node.id, line, "materialize",
                                       "I", "E")
 
+    @hotpath
     def _am_access(self, node: ComaNode, t0: int) -> int:
         """Charge one attraction-memory access: controller in, DRAM read,
-        controller return.  Contention-free latency 148 ns."""
-        tm = self.timing
-        s = node.nc.acquire(t0, tm.nc_busy_ns, self._bg)
-        t = s + tm.nc_ns
-        s = node.dram.acquire(t, tm.dram_busy_ns, self._bg)
-        t = s + tm.dram_latency_ns
-        s = node.nc.acquire(t, tm.nc_busy_ns, self._bg)
-        return s + tm.nc_ns
+        controller return.  Contention-free latency 148 ns.
+
+        The foreground path opens the :class:`Resource` next-free math in
+        line (the totals are identical to three ``acquire`` calls); the
+        background path keeps the calls — posted writes are not latency
+        critical.
+        """
+        nc = node.nc
+        dram = node.dram
+        nc_busy = self._t_nc_busy
+        nc_ns = self._t_nc
+        dram_busy = self._t_dram_busy
+        if self._bg:
+            s = nc.bg_next_free
+            if s < t0:
+                s = t0
+            nc.bg_next_free = s + nc_busy
+            t = s + nc_ns
+            s = dram.bg_next_free
+            if s < t:
+                s = t
+            dram.bg_next_free = s + dram_busy
+            t = s + self._t_dram_lat
+            s = nc.bg_next_free
+            if s < t:
+                s = t
+            nc.bg_next_free = s + nc_busy
+        else:
+            s = nc.next_free
+            if s < t0:
+                s = t0
+            nc.next_free = s + nc_busy
+            t = s + nc_ns
+            s = dram.next_free
+            if s < t:
+                s = t
+            dram.next_free = s + dram_busy
+            t = s + self._t_dram_lat
+            s = nc.next_free
+            if s < t:
+                s = t
+            nc.next_free = s + nc_busy
+        nc.busy_ns += 2 * nc_busy
+        nc.uses += 2
+        dram.busy_ns += dram_busy
+        dram.uses += 1
+        return s + nc_ns
 
     # -- interconnect hooks (overridden by the hierarchical machine) -----
 
@@ -673,8 +861,8 @@ class ComaMachine:
             assert dst is not None
             self.bus.record(TxKind.REPLACE_DATA, t, src.id, line)
             t = self.bus.phase(t, self._bg)
-            s = dst.nc.acquire(t, self.timing.nc_busy_ns, self._bg)
-            dst.dram.acquire(s + self.timing.nc_ns, self.timing.dram_busy_ns, self._bg)
+            s = dst.nc.acquire(t, self._t_nc_busy, self._bg)
+            dst.dram.acquire(s + self._t_nc, self._t_dram_busy, self._bg)
 
     def node_scan_order(self, exclude_id: int, rotor: int) -> list[ComaNode]:
         """Receiver scan order for the replacement engine: rotating round
@@ -686,20 +874,86 @@ class ComaMachine:
             if (rotor + k) % n != exclude_id
         ]
 
+    @hotpath
     def _remote_path(self, local: ComaNode, owner: ComaNode, now: int) -> int:
         """Charge the remote fetch up to data arrival at the local
         controller: local NC, bus request, remote NC + DRAM, bus reply,
         local NC.  The local allocate/fill and fixed overhead are added by
-        the caller (they differ between cached and uncached reads)."""
-        tm = self.timing
-        s = local.nc.acquire(now, tm.nc_busy_ns, self._bg)
-        t = self.bus.phase(s + tm.nc_ns, self._bg)
-        s = owner.nc.acquire(t, tm.nc_busy_ns, self._bg)
-        t = s + tm.nc_ns
-        s = owner.dram.acquire(t, tm.dram_busy_ns, self._bg)
-        t = self.bus.phase(s + tm.dram_latency_ns, self._bg)
-        s = local.nc.acquire(t, tm.nc_busy_ns, self._bg)
-        return s + tm.nc_ns
+        the caller (they differ between cached and uncached reads).
+
+        The foreground path opens all seven resource acquisitions in line
+        (grouped busy/uses totals, identical timing); the background path
+        keeps the calls.
+        """
+        nc_busy = self._t_nc_busy
+        nc_ns = self._t_nc
+        if self._bg:
+            nc = local.nc
+            bus = self.bus
+            s = nc.acquire(now, nc_busy, True)
+            t = bus.phase(s + nc_ns, True)
+            s = owner.nc.acquire(t, nc_busy, True)
+            t = s + nc_ns
+            s = owner.dram.acquire(t, self._t_dram_busy, True)
+            t = bus.phase(s + self._t_dram_lat, True)
+            s = nc.acquire(t, nc_busy, True)
+            return s + nc_ns
+        lnc = local.nc
+        onc = owner.nc
+        odram = owner.dram
+        bus = self.bus
+        br = bus.resource
+        bus_busy = bus._busy_ns
+        bus_phase = bus._phase_ns
+        bm = bus.metrics
+        # local NC out
+        s = lnc.next_free
+        if s < now:
+            s = now
+        lnc.next_free = s + nc_busy
+        t = s + nc_ns
+        # bus request phase
+        b = br.next_free
+        if b < t:
+            b = t
+        br.next_free = b + bus_busy
+        if bm is not None:
+            bm.phase(b - t, bus_busy)
+        t = b + bus_phase
+        # owner NC in
+        s = onc.next_free
+        if s < t:
+            s = t
+        onc.next_free = s + nc_busy
+        onc.busy_ns += nc_busy
+        onc.uses += 1
+        t = s + nc_ns
+        # owner DRAM
+        s = odram.next_free
+        if s < t:
+            s = t
+        odram.next_free = s + self._t_dram_busy
+        odram.busy_ns += self._t_dram_busy
+        odram.uses += 1
+        t = s + self._t_dram_lat
+        # bus reply phase
+        b = br.next_free
+        if b < t:
+            b = t
+        br.next_free = b + bus_busy
+        br.busy_ns += 2 * bus_busy
+        br.uses += 2
+        if bm is not None:
+            bm.phase(b - t, bus_busy)
+        t = b + bus_phase
+        # local NC return
+        s = lnc.next_free
+        if s < t:
+            s = t
+        lnc.next_free = s + nc_busy
+        lnc.busy_ns += 2 * nc_busy
+        lnc.uses += 2
+        return s + nc_ns
 
     def _classify_read_miss(self, node: ComaNode, line: int) -> None:
         c = self.counters

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.config import CacheGeometry, MachineConfig
-from repro.mem.setassoc import SetAssocArray
+from repro.mem.soa import LineArray
 from repro.mem.shadow import ShadowTags
 from repro.timing.resource import Resource
 
@@ -31,7 +31,7 @@ class ComaNode:
         config: MachineConfig,
     ) -> None:
         self.id = node_id
-        self.am = SetAssocArray(am_geometry)
+        self.am = LineArray(am_geometry)
         #: Victim overflow buffer: owner lines that could not be placed
         #: anywhere (machine-wide set conflict).  Maps line -> state.
         self.overflow: dict[int, int] = {}

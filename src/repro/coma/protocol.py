@@ -150,13 +150,20 @@ def validate_table(transitions: Iterable[Transition] = TRANSITIONS) -> None:
     seen: dict[tuple[int, str], Transition] = {}
     for t in transitions:
         if t.state not in STATES:
-            raise ProtocolError(f"transition row with unknown state {t.state!r}")
+            raise ProtocolError(
+                f"({state_name(t.state)}, {t.event}): unknown state "
+                f"{t.state!r} — states are I/S/O/E = 0..3"
+            )
         if t.event not in EVENTS:
-            raise ProtocolError(f"transition row with unknown event {t.event!r}")
+            raise ProtocolError(
+                f"({state_name(t.state)}, {t.event}): unknown event "
+                f"{t.event!r} — events are {', '.join(EVENTS)}"
+            )
         key = (t.state, t.event)
         if key in seen:
             raise ProtocolError(
-                f"duplicate transition row ({state_name(t.state)}, {t.event})"
+                f"({state_name(t.state)}, {t.event}): duplicate transition "
+                f"row — already defined as next={seen[key].next_state!r}"
             )
         seen[key] = t
     for s in STATES:

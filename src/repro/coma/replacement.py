@@ -28,6 +28,12 @@ Shared replica on a read miss) that reaches step 4 is abandoned instead:
 the read completes uncached, which is the pressure-valve behaviour that
 produces the read-traffic blow-up the paper observes at 87.5 % memory
 pressure.
+
+The engine runs on the compiled dispatch plane: ways are addressed as
+plain ints into each AM's :class:`repro.mem.soa.LineArray`, the local
+victim-class policy is the interned ``victim_mode`` (certified against
+the config at machine build), and the two ``inject`` resolutions come
+from the machine's compiled protocol table rather than string dispatch.
 """
 
 from __future__ import annotations
@@ -37,28 +43,12 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.common.rng import derive_seed
 
-from repro.coma import protocol
 from repro.coma.linetable import LOC_AM, LOC_OVERFLOW, LOC_SLC
 from repro.coma.node import REMOVED_EVICTED, ComaNode
-from repro.coma.states import INVALID, SHARED, is_owning, state_name
-from repro.mem.setassoc import Entry
+from repro.coma.states import SHARED, is_owning, state_name
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.coma.machine import ComaMachine
-
-
-def _victim_priority(entry: Entry) -> int:
-    """Local victim classes: Shared before Owner/Exclusive."""
-    return 0 if entry.state == SHARED else 1
-
-
-def _victim_priority_noninclusive(entry: Entry) -> int:
-    """Non-inclusive hierarchies: an owner whose line also sits in a local
-    SLC can give up its AM way for free (ownership stays in the SLC), so
-    it ranks between Shared victims and bare owners."""
-    if entry.state == SHARED:
-        return 0
-    return 1 if entry.aux else 2
 
 
 class ReplacementEngine:
@@ -70,27 +60,27 @@ class ReplacementEngine:
         self._rotor = 0
         #: Seeded shuffler for the "random" receiver-policy ablation.
         self._rng = random.Random(derive_seed(machine.config.seed, "replacement"))
+        cfg = machine.config
+        self._victim_mode = machine._victim_mode
+        self._random_receiver = cfg.replacement_receiver_policy == "random"
+        self._inclusive = cfg.inclusive
+        self._max_hops = cfg.relocation_max_hops
 
     # ------------------------------------------------------------------
     def make_room(
         self, node: ComaNode, line: int, now: int, mandatory: bool
-    ) -> Optional[Entry]:
-        """Return an invalid way of ``line``'s set in ``node``'s AM,
-        evicting/relocating as needed.  Returns None when an optional
-        allocation should be abandoned (see module docstring)."""
+    ) -> Optional[int]:
+        """Return an invalid way (as a way number) of ``line``'s set in
+        ``node``'s AM, evicting/relocating as needed.  Returns None when
+        an optional allocation should be abandoned (see module
+        docstring)."""
         am = node.am
-        set_idx = am.set_index(line)
-        free = am.free_way(set_idx)
-        if free is not None:
+        set_idx = line % am.num_sets
+        free = am.free_way_idx(set_idx)
+        if free >= 0:
             return free
-        if self.m.config.am_victim_policy == "lru":
-            prio = None  # state-blind LRU (ablation)
-        elif self.m.config.inclusive:
-            prio = _victim_priority
-        else:
-            prio = _victim_priority_noninclusive
-        victim = am.find_victim(set_idx, prio)
-        if victim.state == SHARED:
+        victim = am.victim_way(set_idx, self._victim_mode)
+        if am.state_a[victim] == SHARED:
             self.m.drop_shared_copy(node, victim)
             return victim
         # Victim is an owner: it must be relocated, never dropped.
@@ -110,19 +100,21 @@ class ReplacementEngine:
 
     # ------------------------------------------------------------------
     def relocate_owner(
-        self, src: ComaNode, entry: Entry, now: int, mandatory: bool, hops: int
+        self, src: ComaNode, src_way: int, now: int, mandatory: bool, hops: int
     ) -> bool:
-        """Move the owner line held by ``entry`` out of ``src``.
+        """Move the owner line held in ``src_way`` of ``src``'s AM out.
 
-        On success the entry has been invalidated in ``src`` (with SLC
+        On success the way has been invalidated in ``src`` (with SLC
         back-invalidation) and the line table updated.  Traffic and
         resource occupancy for the relocation transaction are charged; no
         processor latency is added (replacements proceed in the background
         of the access that triggered them).
         """
         m = self.m
-        line = entry.line
-        assert is_owning(entry.state), f"relocating non-owner {entry!r}"
+        am = src.am
+        line = am.line_a[src_way]
+        state = am.state_a[src_way]
+        assert is_owning(state), f"relocating non-owner way {src_way}"
         info = m.lines.get(line)
         assert info.owner_node == src.id and info.owner_loc == LOC_AM
 
@@ -131,11 +123,12 @@ class ReplacementEngine:
         # 0. Non-inclusive hierarchy: if a local SLC still holds the line,
         # ownership simply falls back to the SLC — no traffic at all.
         # This is the replication-space win of breaking inclusion ([9,2]).
-        if not m.config.inclusive and entry.aux:
-            src.slc_resident[line] = [entry.aux, entry.state]
+        aux = am.aux_a[src_way]
+        if not self._inclusive and aux:
+            src.slc_resident[line] = [aux, state]
             info.owner_loc = LOC_SLC
-            entry.aux = 0
-            src.am.invalidate(entry)
+            am.aux_a[src_way] = 0
+            am.invalidate_way(src_way)
             m.counters.replace_to_slc += 1
             if m.trace is not None:
                 m.trace.replacement(now, src.id, src.id, line, "to_slc", hops)
@@ -148,15 +141,14 @@ class ReplacementEngine:
         if info.sharers:
             dst_id = min(info.sharers)
             dst = m.nodes[dst_id]
-            s_entry = dst.am.lookup(line)
+            sw = dst.am.index.get(line)
             info.sharers.discard(dst_id)
-            new_state = protocol.resolved_next(
-                SHARED, "inject", sharers_exist=bool(info.sharers)
-            )
-            if s_entry is not None:
-                assert s_entry.state == SHARED
-                s_entry.state = new_state
-                dst.am.touch(s_entry)
+            new_state = m._inj_shared[1 if info.sharers else 0]
+            if sw is not None:
+                assert dst.am.state_a[sw] == SHARED
+                dst.am.state_a[sw] = new_state
+                dst.am.tick += 1
+                dst.am.lru_a[sw] = dst.am.tick
                 info.owner_loc = LOC_AM
             else:
                 # Non-inclusive: the sharer holds it in an SLC only.
@@ -172,57 +164,59 @@ class ReplacementEngine:
                                    state_name(new_state))
             if m.metrics is not None:
                 m.metrics.relocation("to_sharer", hops)
-            m.strip_node_copy(src, entry, REMOVED_EVICTED)
+            m.strip_node_copy(src, src_way, REMOVED_EVICTED)
             return True
 
-        set_idx = entry.set_idx
+        set_idx = src_way // am.assoc
         order = self._node_order(src.id)
 
-        if m.config.replacement_receiver_policy == "random":
+        if self._random_receiver:
             # Ablation: first receiver in a random order that has *any*
             # capacity, with no Invalid-before-Shared preference.
             shuffled = list(order)
             self._rng.shuffle(shuffled)
             for dst in shuffled:
-                way = dst.am.free_way(set_idx)
-                if way is not None:
-                    self._transfer(src, entry, dst, way, now, "to_invalid", hops)
+                way = dst.am.free_way_idx(set_idx)
+                if way >= 0:
+                    self._transfer(src, src_way, dst, way, now, "to_invalid", hops)
                     m.counters.replace_to_invalid += 1
                     return True
-                for way in dst.am.ways(set_idx):
-                    if way.state == SHARED:
+                base = set_idx * dst.am.assoc
+                for way in range(base, base + dst.am.assoc):
+                    if dst.am.state_a[way] == SHARED:
                         m.drop_shared_copy(dst, way)
-                        self._transfer(src, entry, dst, way, now,
+                        self._transfer(src, src_way, dst, way, now,
                                        "to_shared", hops)
                         m.counters.replace_to_shared += 1
                         return True
         else:
             # 2. A node with an Invalid way accepts the line.
             for dst in order:
-                way = dst.am.free_way(set_idx)
-                if way is not None:
-                    self._transfer(src, entry, dst, way, now, "to_invalid", hops)
+                way = dst.am.free_way_idx(set_idx)
+                if way >= 0:
+                    self._transfer(src, src_way, dst, way, now, "to_invalid", hops)
                     m.counters.replace_to_invalid += 1
                     return True
 
             # 3. A node with a Shared way accepts it, dropping the S replica.
             for dst in order:
-                for way in dst.am.ways(set_idx):
-                    if way.state == SHARED:
+                base = set_idx * dst.am.assoc
+                for way in range(base, base + dst.am.assoc):
+                    if dst.am.state_a[way] == SHARED:
                         m.drop_shared_copy(dst, way)
-                        self._transfer(src, entry, dst, way, now,
+                        self._transfer(src, src_way, dst, way, now,
                                        "to_shared", hops)
                         m.counters.replace_to_shared += 1
                         return True
 
         # 4. Forced cascade: every way of this set, machine-wide, holds an
         # owner.  Displace another node's LRU owner recursively.
-        if mandatory and hops < m.config.relocation_max_hops:
+        if mandatory and hops < self._max_hops:
             dst, way = self._oldest_owner_way(order, set_idx)
-            if dst is not None and way is not None:
+            if dst is not None:
                 m.counters.replace_forced_hops += 1
                 if self.relocate_owner(dst, way, now, mandatory=True, hops=hops + 1):
-                    self._transfer(src, entry, dst, way, now, "cascade", hops + 1)
+                    self._transfer(src, src_way, dst, way, now, "cascade", hops + 1)
                     return True
         return False
 
@@ -230,14 +224,15 @@ class ReplacementEngine:
     def _transfer(
         self,
         src: ComaNode,
-        entry: Entry,
+        src_way: int,
         dst: ComaNode,
-        way: Entry,
+        dst_way: int,
         now: int,
         outcome: str = "to_invalid",
         hops: int = 0,
     ) -> None:
-        """Move the owner line in ``entry`` into ``way`` of ``dst``.
+        """Move the owner line in ``src_way`` of ``src`` into ``dst_way``
+        of ``dst``.
 
         The receiver applies I + inject from the table: the replacement
         probe is snooped machine-wide, so the receiver learns whether any
@@ -246,11 +241,9 @@ class ReplacementEngine:
         sharer silently dropped).
         """
         m = self.m
-        line = entry.line
+        line = src.am.line_a[src_way]
         info = m.lines.get(line)
-        state = protocol.resolved_next(
-            INVALID, "inject", sharers_exist=bool(info.sharers)
-        )
+        state = m._inj_invalid[1 if info.sharers else 0]
         # Charge the replacement transaction: probe + data transfer into
         # the receiving node (controller + DRAM occupancy).
         m.charge_replacement(src, dst, now, data=True, line=line)
@@ -260,17 +253,18 @@ class ReplacementEngine:
                                state_name(state))
         if m.metrics is not None:
             m.metrics.relocation(outcome, hops)
-        m.strip_node_copy(src, entry, REMOVED_EVICTED)
-        dst.am.fill(way, line, state)
+        m.strip_node_copy(src, src_way, REMOVED_EVICTED)
+        dst.am.fill_way(dst_way, line, state)
         dst.note_present(line)
         info.owner_node = dst.id
         info.owner_loc = LOC_AM
 
-    def _park_in_overflow(self, node: ComaNode, entry: Entry) -> None:
+    def _park_in_overflow(self, node: ComaNode, way: int) -> None:
         m = self.m
-        line = entry.line
+        am = node.am
+        line = am.line_a[way]
         info = m.lines.get(line)
-        node.overflow[line] = entry.state
+        node.overflow[line] = am.state_a[way]
         info.owner_loc = LOC_OVERFLOW
         m.counters.overflow_parks += 1
         if m.trace is not None:
@@ -279,8 +273,8 @@ class ReplacementEngine:
             m.metrics.relocation("overflow_park", 0)
         # The line is still present in the node (overflow), so strip only
         # the AM way, not the node-level tracking.
-        m.backinvalidate_slcs(node, entry)
-        node.am.invalidate(entry)
+        m.backinvalidate_slcs(node, way)
+        am.invalidate_way(way)
 
     # ------------------------------------------------------------------
     def _node_order(self, exclude_id: int) -> list[ComaNode]:
@@ -294,9 +288,18 @@ class ReplacementEngine:
 
     @staticmethod
     def _oldest_owner_way(order: list[ComaNode], set_idx: int):
-        best_node, best_way = None, None
+        """LRU owner way across the candidate nodes, as ``(node, way)``.
+
+        Scan order (node order, then way order, strict ``<``) reproduces
+        the object-based implementation's tie-breaks exactly.
+        """
+        best_node, best_way, best_lru = None, -1, 0
         for dst in order:
-            for way in dst.am.ways(set_idx):
-                if is_owning(way.state) and (best_way is None or way.lru < best_way.lru):
-                    best_node, best_way = dst, way
+            am = dst.am
+            base = set_idx * am.assoc
+            for way in range(base, base + am.assoc):
+                if am.state_a[way] > SHARED and (
+                    best_node is None or am.lru_a[way] < best_lru
+                ):
+                    best_node, best_way, best_lru = dst, way, am.lru_a[way]
         return best_node, best_way

@@ -9,173 +9,19 @@ State is an opaque small integer; 0 means invalid by convention.  Victim
 *selection policy* lives with the caller (the COMA replacement rules of
 section 3.1 prioritize Shared victims over Owner/Exclusive ones), this
 module only provides the mechanics.
+
+The storage itself lives in :mod:`repro.mem.soa`: line state is kept in
+arrays-of-structs (``array`` buffers indexed by way number) rather than
+per-line objects, so compiled hot paths can address ways as plain ints.
+These aliases keep the historical names — ``SetAssocArray`` for the
+array, ``Entry`` for the per-way view handed out by the compatible API.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from repro.mem.soa import INVALID, LineArray, WayRef
 
-from repro.common.config import CacheGeometry
+SetAssocArray = LineArray
+Entry = WayRef
 
-INVALID = 0
-
-
-class Entry:
-    """One way of one set.
-
-    ``aux`` is cache-specific: the attraction memory stores the bitmask of
-    local processors whose SLC holds the line; the SLC stores nothing.
-    """
-
-    __slots__ = ("line", "state", "lru", "dirty", "aux", "set_idx")
-
-    def __init__(self, set_idx: int) -> None:
-        self.line = -1
-        self.state = INVALID
-        self.lru = 0
-        self.dirty = False
-        self.aux = 0
-        self.set_idx = set_idx
-
-    @property
-    def valid(self) -> bool:
-        return self.state != INVALID
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"Entry(set={self.set_idx}, line={self.line:#x}, state={self.state}, "
-            f"dirty={self.dirty})"
-        )
-
-
-class SetAssocArray:
-    """Tag array: ``geometry.num_sets`` sets x ``geometry.assoc`` ways."""
-
-    def __init__(self, geometry: CacheGeometry) -> None:
-        self.geometry = geometry
-        self.sets: list[list[Entry]] = [
-            [Entry(s) for _ in range(geometry.assoc)] for s in range(geometry.num_sets)
-        ]
-        self._index: dict[int, Entry] = {}
-        self._tick = 0
-
-    # -- lookup ---------------------------------------------------------
-
-    def lookup(self, line: int) -> Optional[Entry]:
-        """Return the valid entry holding ``line``, or None."""
-        return self._index.get(line)
-
-    def __contains__(self, line: int) -> bool:
-        return line in self._index
-
-    def set_index(self, line: int) -> int:
-        return line % self.geometry.num_sets
-
-    def ways(self, set_idx: int) -> list[Entry]:
-        return self.sets[set_idx]
-
-    def touch(self, entry: Entry) -> None:
-        """Mark ``entry`` most-recently-used."""
-        self._tick += 1
-        entry.lru = self._tick
-
-    # -- mutation -------------------------------------------------------
-
-    def find_victim(
-        self,
-        set_idx: int,
-        priority: Optional[Callable[[Entry], int]] = None,
-    ) -> Entry:
-        """Pick the entry to displace in ``set_idx``.
-
-        ``priority`` maps an entry to a class number; lower classes are
-        displaced first, ties broken by LRU.  The default prefers invalid
-        entries, then plain LRU.
-        """
-        ways = self.sets[set_idx]
-        if priority is None:
-            best = ways[0]
-            for e in ways:
-                if not e.valid:
-                    return e
-                if e.lru < best.lru:
-                    best = e
-            return best
-        best = ways[0]
-        best_key = (priority(best), best.lru)
-        for e in ways[1:]:
-            key = (priority(e), e.lru)
-            if key < best_key:
-                best, best_key = e, key
-        return best
-
-    def free_way(self, set_idx: int) -> Optional[Entry]:
-        """Return an invalid way in ``set_idx`` if one exists."""
-        for e in self.sets[set_idx]:
-            if not e.valid:
-                return e
-        return None
-
-    def fill(self, entry: Entry, line: int, state: int) -> None:
-        """(Re)populate ``entry`` with ``line`` in ``state``.
-
-        The caller must already have dealt with any victim occupying the
-        entry (writeback, relocation, ...); a still-valid entry is simply
-        dropped from the index here.
-        """
-        assert state != INVALID, "fill with INVALID makes no sense"
-        assert entry.set_idx == line % self.geometry.num_sets, (
-            f"line {line:#x} does not map to set {entry.set_idx}"
-        )
-        if entry.valid:
-            del self._index[entry.line]
-        entry.line = line
-        entry.state = state
-        entry.dirty = False
-        entry.aux = 0
-        self._index[line] = entry
-        self.touch(entry)
-
-    def invalidate(self, entry: Entry) -> None:
-        """Drop ``entry`` from the array."""
-        if entry.valid:
-            del self._index[entry.line]
-        entry.line = -1
-        entry.state = INVALID
-        entry.dirty = False
-        entry.aux = 0
-
-    def invalidate_line(self, line: int) -> bool:
-        """Invalidate ``line`` if present; returns True if it was."""
-        entry = self._index.get(line)
-        if entry is None:
-            return False
-        self.invalidate(entry)
-        return True
-
-    # -- introspection ---------------------------------------------------
-
-    def valid_entries(self) -> Iterator[Entry]:
-        return iter(self._index.values())
-
-    def count_state(self, state: int) -> int:
-        return sum(1 for e in self._index.values() if e.state == state)
-
-    @property
-    def occupancy(self) -> int:
-        """Number of valid lines currently held."""
-        return len(self._index)
-
-    def check_consistency(self) -> None:
-        """Internal invariant check used by the test suite."""
-        seen = 0
-        for s, ways in enumerate(self.sets):
-            for e in ways:
-                if e.valid:
-                    seen += 1
-                    assert e.set_idx == s
-                    assert self._index.get(e.line) is e, (
-                        f"index out of sync for line {e.line:#x}"
-                    )
-                    assert e.line % self.geometry.num_sets == s
-        assert seen == len(self._index), "index size mismatch"
+__all__ = ["INVALID", "SetAssocArray", "Entry"]

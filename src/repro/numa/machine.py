@@ -198,16 +198,17 @@ class NumaMachine:
     # ------------------------------------------------------------------
     def _fill(self, proc: int, line: int) -> None:
         victim = self.slcs[proc].fill(line)
-        if victim is not None:
-            self.l1s[proc].invalidate(victim.line)
-            ve = self.directory.maybe(victim.line)
+        if victim >= 0:
+            vline = victim >> 1
+            self.l1s[proc].invalidate(vline)
+            ve = self.directory.maybe(vline)
             if ve is not None:
                 ve.sharers.discard(proc)
                 if ve.owner == proc:
                     ve.owner = None
                     # Dirty write-back travels to the line's home.
                     vhome = self.space.page_home.get(
-                        victim.line * self.config.line_size // self.space.page_size
+                        vline * self.config.line_size // self.space.page_size
                     )
                     if vhome is not None and vhome != self._node_of[proc]:
                         self.bus.record(TxKind.REPLACE_DATA)

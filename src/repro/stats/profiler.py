@@ -82,14 +82,13 @@ class SharingProfiler:
             self._last_owner[line] = info.owner_node
         owners = shared = invalid = 0
         for node in machine.nodes:
-            for ways in node.am.sets:
-                for e in ways:
-                    if not e.valid:
-                        invalid += 1
-                    elif e.state == SHARED:
-                        shared += 1
-                    elif is_owning(e.state):
-                        owners += 1
+            for st in node.am.state_a:
+                if st == 0:
+                    invalid += 1
+                elif st == SHARED:
+                    shared += 1
+                elif is_owning(st):
+                    owners += 1
         self._comp_totals["owner"] += owners
         self._comp_totals["shared"] += shared
         self._comp_totals["invalid"] += invalid

@@ -148,9 +148,10 @@ class UmaMachine:
     # ------------------------------------------------------------------
     def _fill(self, proc: int, line: int) -> None:
         victim = self.slcs[proc].fill(line)
-        if victim is not None:
-            self.l1s[proc].invalidate(victim.line)
-            ve = self.directory.maybe(victim.line)
+        if victim >= 0:
+            vline = victim >> 1
+            self.l1s[proc].invalidate(vline)
+            ve = self.directory.maybe(vline)
             if ve is not None:
                 ve.sharers.discard(proc)
                 if ve.owner == proc:
@@ -158,7 +159,7 @@ class UmaMachine:
                     # Dirty write-back crosses the bus to central memory.
                     self.bus.record(TxKind.REPLACE_DATA)
                     t = self.bus.phase(self.now, self._bg)
-                    self.banks[victim.line % N_BANKS].acquire(
+                    self.banks[vline % N_BANKS].acquire(
                         t, self.timing.dram_busy_ns
                     , self._bg)
                     self.counters.replacements += 1

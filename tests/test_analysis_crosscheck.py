@@ -83,9 +83,10 @@ class TestMachineMutationsAreCaught:
         # subsystem was built to catch: O relocates as O with no sharers).
         original = ReplacementEngine._transfer
 
-        def transfer_preserving_state(self, src, entry, dst, way, now, *args):
-            line, state = entry.line, entry.state
-            original(self, src, entry, dst, way, now, *args)
+        def transfer_preserving_state(self, src, src_way, dst, dst_way, now, *args):
+            am = src.am
+            line, state = am.line_a[src_way], am.state_a[src_way]
+            original(self, src, src_way, dst, dst_way, now, *args)
             dst.am.lookup(line).state = state
 
         monkeypatch.setattr(
@@ -102,19 +103,21 @@ class TestMachineMutationsAreCaught:
     def test_takeover_state_mutation_is_c002(self, monkeypatch):
         # Sharer takeover always installs Owner, ignoring the
         # sharer-dependent resolution (should be E when the taker is the
-        # last copy).  Swap the protocol binding in the replacement module
-        # only, so the scenarios' own expected-state lookups stay honest.
-        import types
+        # last copy).  Mutate the compiled dispatch the machine binds at
+        # build time, so the scenarios' own expected-state lookups (which
+        # read the declarative table) stay honest.
+        import dataclasses
 
-        import repro.coma.replacement as replacement_mod
-        from repro.coma import protocol as real_protocol
+        import repro.analysis.compile as compile_mod
 
-        fake = types.SimpleNamespace(
-            resolved_next=lambda state, event, sharers_exist: OWNER,
-        )
-        monkeypatch.setattr(replacement_mod, "protocol", fake)
+        real_build = compile_mod.build_dispatch
+
+        def mutated_build(config, *args, **kwargs):
+            d = real_build(config, *args, **kwargs)
+            return dataclasses.replace(d, inject_from_shared=(OWNER, OWNER))
+
+        monkeypatch.setattr(compile_mod, "build_dispatch", mutated_build)
         report = crosscheck_relocations()
-        monkeypatch.setattr(replacement_mod, "protocol", real_protocol)
         assert not report.ok
         assert {f.rule for f in report.findings} == {"C002"}
         assert any("takeover-last" in f.message for f in report.findings)

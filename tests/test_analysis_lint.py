@@ -237,3 +237,149 @@ class TestCatalogue:
         for rule, description in RULES.items():
             assert rule and description
         assert {"DET001", "DET002", "MUT001", "FLT001", "EXC001"} <= set(RULES)
+
+
+class TestHotPathRules:
+    """HOT001/HOT002/HOT003 fire inside @hotpath functions — and only
+    there: the decorator is the claim the rules check."""
+
+    def test_tuple_keyed_subscript_flagged(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def dispatch(table, state, event):
+                return table[(state, event)]
+            """,
+            restricted=False,
+        )
+        assert rules_and_lines(findings) == [("HOT001", 5)]
+        assert "intern the key" in findings[0].message
+        assert "dispatch()" in findings[0].message
+
+    def test_string_keyed_get_flagged(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def latency(timing):
+                return timing.get("nc_busy")
+            """,
+            restricted=False,
+        )
+        assert [f.rule for f in findings] == ["HOT001"]
+
+    def test_int_keyed_index_dict_is_fine(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def way_of(index, line):
+                return index.get(line)
+            """,
+            restricted=False,
+        )
+        assert findings == []
+
+    def test_allocation_flagged_tuples_exempt(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def f(xs):
+                ys = [x + 1 for x in xs]
+                zs = sorted(ys)
+                d = {}
+                return (len(zs), d)
+            """,
+            restricted=False,
+        )
+        assert [f.rule for f in findings] == ["HOT002", "HOT002", "HOT002"]
+
+    def test_attribute_chain_reresolution_flagged(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def touch(self, way):
+                self.array.tick += 1
+                self.array.lru[way] = self.array.tick
+            """,
+            restricted=False,
+        )
+        rules = sorted(f.rule for f in findings)
+        assert "HOT003" in rules
+        assert any("hoist self.array" in f.message for f in findings)
+
+    def test_depth_one_chains_are_fine(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def touch(a, way):
+                a.tick += 1
+                a.lru[way] = a.tick
+            """,
+            restricted=False,
+        )
+        assert findings == []
+
+    def test_undecorated_function_unchecked(self):
+        findings = lint(
+            """\
+            def cold(table, state, event):
+                return table[(state, event)]
+            """,
+            restricted=False,
+        )
+        assert findings == []
+
+    def test_other_decorators_do_not_trigger(self):
+        findings = lint(
+            """\
+            import functools
+
+            @functools.lru_cache
+            def cold(table, key):
+                return table[(key, key)]
+            """,
+            restricted=False,
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_hot_finding(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def f(table, k):
+                return table[(k, k)]  # noqa: HOT001
+            """,
+            restricted=False,
+        )
+        assert findings == []
+
+    def test_nested_def_not_scanned_as_hot(self):
+        findings = lint(
+            """\
+            from repro.common.hotpath import hotpath
+
+            @hotpath
+            def outer(x):
+                def inner(table, k):
+                    return table[(k, k)]
+                return x
+            """,
+            restricted=False,
+        )
+        assert findings == []
+
+    def test_hot_rules_catalogued(self):
+        assert {"HOT001", "HOT002", "HOT003"} <= set(RULES)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.caches.l1 import L1Cache
-from repro.caches.slc import SecondLevelCache
+from repro.caches.slc import NO_VICTIM, SecondLevelCache
 from repro.common.config import CacheGeometry
 
 
@@ -47,20 +47,21 @@ class TestL1:
 
 class TestSlc:
     def test_fill_returns_victim(self):
+        # fill packs the victim as (line << 1) | dirty, NO_VICTIM for none.
         slc = SecondLevelCache(_geom(sets=1, assoc=2))
-        assert slc.fill(0) is None
-        assert slc.fill(1) is None
+        assert slc.fill(0) == NO_VICTIM
+        assert slc.fill(1) == NO_VICTIM
         victim = slc.fill(2)
-        assert victim is not None
-        assert victim.line == 0, "LRU way displaced"
-        assert victim.dirty is False
+        assert victim >= 0
+        assert victim >> 1 == 0, "LRU way displaced"
+        assert victim & 1 == 0, "clean victim"
 
     def test_dirty_victim_reported(self):
         slc = SecondLevelCache(_geom(sets=1, assoc=1))
         slc.fill(0)
         slc.mark_dirty(0)
         victim = slc.fill(1)
-        assert victim is not None and victim.dirty is True
+        assert victim >= 0 and victim & 1 == 1
 
     def test_lookup_refreshes_lru(self):
         slc = SecondLevelCache(_geom(sets=1, assoc=2))
@@ -68,7 +69,7 @@ class TestSlc:
         slc.fill(1)
         slc.lookup(0)  # 1 becomes LRU
         victim = slc.fill(2)
-        assert victim.line == 1
+        assert victim >> 1 == 1
 
     def test_contains(self):
         slc = SecondLevelCache(_geom())
@@ -87,4 +88,4 @@ class TestSlc:
     def test_fill_existing_line_no_victim(self):
         slc = SecondLevelCache(_geom(sets=1, assoc=1))
         slc.fill(0)
-        assert slc.fill(0) is None
+        assert slc.fill(0) == NO_VICTIM

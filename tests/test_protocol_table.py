@@ -69,17 +69,22 @@ class TestValidateTable:
     def test_shipped_table_validates(self):
         protocol.validate_table()  # raises on failure
 
+    # Every branch must name the offending (state, op) cell so a table
+    # edit that breaks totality is a one-glance fix.
+
     def test_missing_row_raises(self):
         partial = [
             t for t in protocol.TRANSITIONS
             if (t.state, t.event) != (OWNER, "evict")
         ]
-        with pytest.raises(protocol.ProtocolError, match="missing"):
+        with pytest.raises(protocol.ProtocolError,
+                           match=r"missing \(O, evict\)"):
             protocol.validate_table(partial)
 
     def test_duplicate_row_raises(self):
         doubled = list(protocol.TRANSITIONS) + [protocol.TRANSITIONS[0]]
-        with pytest.raises(protocol.ProtocolError, match="duplicate"):
+        with pytest.raises(protocol.ProtocolError,
+                           match=r"\(I, local_read\): duplicate"):
             protocol.validate_table(doubled)
 
     def test_unknown_state_raises(self):
@@ -87,7 +92,8 @@ class TestValidateTable:
 
         bad = [dataclasses.replace(protocol.TRANSITIONS[0], state=9)]
         bad += list(protocol.TRANSITIONS[1:])
-        with pytest.raises(protocol.ProtocolError, match="unknown state"):
+        with pytest.raises(protocol.ProtocolError,
+                           match=r"\(\?9, local_read\): unknown state 9"):
             protocol.validate_table(bad)
 
     def test_unknown_event_raises(self):
@@ -95,7 +101,8 @@ class TestValidateTable:
 
         bad = [dataclasses.replace(protocol.TRANSITIONS[0], event="flush")]
         bad += list(protocol.TRANSITIONS[1:])
-        with pytest.raises(protocol.ProtocolError, match="unknown event"):
+        with pytest.raises(protocol.ProtocolError,
+                           match=r"\(I, flush\): unknown event 'flush'"):
             protocol.validate_table(bad)
 
 
