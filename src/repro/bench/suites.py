@@ -140,6 +140,24 @@ def _event_loop_instrumented(quick: bool, jobs: int) -> dict:
             "spec_key": spec.key(), "snapshot": registry.snapshot()}
 
 
+def _span_overhead(quick: bool, jobs: int) -> dict:
+    """The event-loop suite with a span-emitting attribution sink
+    attached — its wall time against ``event_loop``'s bounds the cost of
+    building a span tree per memory access.  ``event_loop`` itself (no
+    sink) is the zero-overhead-when-off reference: spans stay ``None``
+    there, so a regression in *that* suite after a spans change means
+    the off path grew."""
+    from repro.obs.spans import StallAttribution
+
+    spec = _event_loop_spec(quick)
+    att = StallAttribution(top_spans=4)
+    sim = build_simulation(spec)
+    sim.attach(att)
+    sim.run()
+    return {"work": sim.events_processed, "unit": "events",
+            "spec_key": spec.key()}
+
+
 def _sweep(quick: bool, jobs: int) -> dict:
     pressures = (0.5, 0.8125) if quick else (0.5, 0.75, 0.8125, 0.875)
     specs = [
@@ -164,6 +182,9 @@ SUITES: tuple[Suite, ...] = (
     Suite("event_loop_instrumented",
           "event loop with a metrics registry attached",
           _event_loop_instrumented),
+    Suite("span_overhead",
+          "event loop with per-access span trees + stall attribution",
+          _span_overhead),
     Suite("sweep", "parallel sweep engine, uncached points", _sweep),
 )
 

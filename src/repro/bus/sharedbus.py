@@ -62,6 +62,15 @@ class SharedBus:
             self.metrics.phase(start - now, busy)
         return start + self._phase_ns
 
+    def arb_start(self, completion: int) -> int:
+        """Recover when a phase won arbitration from its completion time.
+
+        ``phase`` returns ``grant + phase_ns``; span checkpoints need the
+        grant instant to split a bus step into arbitration wait and wire
+        transfer without widening ``phase``'s return contract.
+        """
+        return completion - self._phase_ns
+
     def record(
         self, kind: TxKind, now: int = 0, origin: int = -1, line: int = -1
     ) -> None:

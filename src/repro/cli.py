@@ -54,8 +54,11 @@ def _trace_spec(args: argparse.Namespace) -> RunSpec:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.experiments.runner import build_simulation
     from repro.obs import ChromeTraceSink, FlightRecorder, JsonlTraceSink, TeeSink
+    from repro.obs.timeline import TimelineSampler
 
     sinks = []
     jsonl_path = args.jsonl
@@ -69,11 +72,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         sinks.append(ct)
     flight = FlightRecorder(capacity=args.flight, dump_path=args.flight_dump)
     sinks.append(flight)
+    if args.spans:
+        # Opt in per instance: span events flow to every attached sink
+        # (trace files grow; goldens without --spans stay byte-identical).
+        for s in sinks:
+            s.wants_spans = True
 
+    tl = TimelineSampler() if args.timeline else None
     sim = build_simulation(_trace_spec(args))
     sim.machine.set_trace(TeeSink(*sinks))
+    if tl is not None:
+        # Sample every 500 kernel events: dense enough for short traced
+        # runs, and the run itself is already paying for event tracing.
+        sim.attach(tl, every=500)
     try:
         result = sim.run()
+        if tl is not None and ct is not None:
+            # Counter tracks land in the same Perfetto file (before close
+            # writes it) so spans and timelines render side by side.
+            ct.trace_events.extend(tl.perfetto_events())
     except Exception as exc:
         dump = getattr(exc, "flight_dump", None)
         if dump:
@@ -88,17 +105,91 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if ct is not None:
         print(f"chrome trace: {args.chrome} ({ct.count} events) "
               "— open in https://ui.perfetto.dev")
+    if tl is not None:
+        with open(args.timeline, "w") as fh:
+            _json.dump(tl.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"timeline: {args.timeline} ({len(tl.t)} samples)")
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.experiments.runner import build_simulation
+    from repro.obs.openmetrics import to_openmetrics
+    from repro.obs.spans import (
+        StallAttribution,
+        format_attribution,
+        format_span_tree,
+    )
+    from repro.obs.timeline import TimelineSampler
+
+    spec = _trace_spec(args)
+    att = StallAttribution(top_spans=args.top_spans)
+    tl = TimelineSampler() if args.timeline else None
+    sim = build_simulation(spec)
+    sim.attach(att)
+    if tl is not None:
+        sim.attach(tl, every=500)
+    result = sim.run()
+    report = att.report(stalls=result.stalls, elapsed_ns=result.elapsed_ns)
+    report["spec_key"] = spec.key()
+    if args.format == "json":
+        out = _json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        out = format_attribution(report) + "\n"
+        trees = att.slowest_spans()
+        if trees:
+            out += f"{len(trees)} slowest access(es), full span trees:\n"
+            out += "\n".join(format_span_tree(t) for t in trees) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(out)
+        print(f"attribution: {args.out} ({args.format})")
+    else:
+        print(out, end="")
+    if args.openmetrics:
+        with open(args.openmetrics, "w") as fh:
+            fh.write(to_openmetrics(att.registry, exemplars=att.exemplars()))
+        print(f"openmetrics: {args.openmetrics} (latency histograms "
+              "with tail exemplars)")
+    if tl is not None:
+        with open(args.timeline, "w") as fh:
+            _json.dump(tl.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"timeline: {args.timeline} ({len(tl.t)} samples)")
+    errs = report["conservation_errors"]
+    if errs:
+        print("conservation violations:", file=sys.stderr)
+        for e in errs:
+            print(f"  {e}", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.experiments.runner import build_simulation
-    from repro.obs import LineBiography
+    from repro.obs import LineBiography, TeeSink
 
     bio = LineBiography()
     sim = build_simulation(_trace_spec(args))
-    sim.machine.set_trace(bio)
+    att = None
+    if args.slowest:
+        from repro.obs.spans import StallAttribution, format_span_tree
+
+        att = StallAttribution(top_spans=args.slowest)
+        sim.machine.set_trace(TeeSink(bio, att))
+    else:
+        sim.machine.set_trace(bio)
     sim.run()
+    if att is not None:
+        trees = att.slowest_spans()
+        print(f"{len(trees)} slowest access(es), full span trees:")
+        for tree in trees:
+            print(format_span_tree(tree))
+        if args.line is None:
+            return 0
     if args.line is None:
         print("busiest lines:")
         for ln in bio.lines()[: args.top]:
@@ -615,7 +706,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="flight-recorder capacity (last N events)")
     tr.add_argument("--flight-dump", metavar="PATH",
                     help="where to dump the flight recorder if the run dies")
+    tr.add_argument("--spans", action="store_true",
+                    help="emit causal span trees per memory access "
+                    "(phase slices + flow arrows in --chrome)")
+    tr.add_argument("--timeline", metavar="PATH",
+                    help="sample a metric timeline over simulated time and "
+                    "write the JSON series; counter tracks are merged "
+                    "into --chrome")
     tr.set_defaults(func=_cmd_trace)
+
+    at = sub.add_parser(
+        "attribute",
+        help="attribute simulated latency to protocol phases "
+        "(busy/read/write/sync/relocation breakdown per processor)",
+    )
+    _traced(at)
+    at.add_argument("--format", choices=["table", "json"], default="table")
+    at.add_argument("--top-spans", type=int, default=10, metavar="N",
+                    help="keep full span trees for the N slowest accesses")
+    at.add_argument("--out", metavar="PATH",
+                    help="write the report to a file instead of stdout")
+    at.add_argument("--openmetrics", metavar="PATH",
+                    help="also export latency histograms as OpenMetrics "
+                    "with tail exemplars")
+    at.add_argument("--timeline", metavar="PATH",
+                    help="also sample a metric timeline and write the "
+                    "JSON series")
+    at.set_defaults(func=_cmd_attribute)
 
     sz = sub.add_parser(
         "sanitize",
@@ -681,6 +798,8 @@ def build_parser() -> argparse.ArgumentParser:
                     " omitted: list the busiest lines")
     ex.add_argument("--top", type=int, default=10,
                     help="how many busy lines to list without --line")
+    ex.add_argument("--slowest", type=int, default=0, metavar="N",
+                    help="narrate the N slowest accesses as full span trees")
     ex.set_defaults(func=_cmd_explain)
     return p
 

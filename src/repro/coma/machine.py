@@ -143,11 +143,29 @@ class ComaMachine:
         #: ``None``-by-default, one-``if``-per-site discipline as tracing.
         #: Attach a registry with :meth:`set_metrics`.
         self.metrics = None
+        #: Optional :class:`repro.obs.spans.SpanBuilder`.  Installed by
+        #: :meth:`set_trace` only when the sink opts in (``wants_spans``),
+        #: so span construction follows the same zero-overhead-when-off
+        #: discipline: every checkpoint site is one ``if x is not None``.
+        self.spans = None
 
     def set_trace(self, sink) -> None:
-        """Attach a trace sink to the machine and its interconnect."""
+        """Attach a trace sink to the machine and its interconnect.
+
+        A sink with a truthy ``wants_spans`` additionally gets a
+        :class:`~repro.obs.spans.SpanBuilder` so accesses emit causal
+        span trees; re-attaching the same sink (a tee that grew a
+        span consumer) keeps the builder's id counters.
+        """
         self.trace = sink
         self.bus.trace = sink
+        if sink is not None and getattr(sink, "wants_spans", False):
+            if self.spans is None or self.spans.sink is not sink:
+                from repro.obs.spans import SpanBuilder
+
+                self.spans = SpanBuilder(sink)
+        else:
+            self.spans = None
 
     def set_metrics(self, registry) -> None:
         """Wire a :class:`repro.obs.metrics.MetricsRegistry` into the
@@ -172,7 +190,10 @@ class ComaMachine:
         c.reads += 1
         trace = self.trace
         metrics = self.metrics
+        spans = self.spans
         line = addr >> self._shift
+        if spans is not None:
+            spans.begin(now, proc, "r", line, addr)
         if (addr // self._page_size) not in self._page_home:
             self._materialize_page(addr, self.nodes[self._node_of[proc]], now)
 
@@ -195,6 +216,8 @@ class ComaMachine:
                                   addr)
             if metrics is not None:
                 metrics.access("r", LEVEL_L1, done - now)
+            if spans is not None:
+                spans.end(done, LEVEL_L1)
             return done, LEVEL_L1
 
         node = self.nodes[self._node_of[proc]]
@@ -236,6 +259,9 @@ class ComaMachine:
                                   addr)
             if metrics is not None:
                 metrics.access("r", LEVEL_SLC, done - now)
+            if spans is not None:
+                spans.phase("slc_wait", start)
+                spans.end(done, LEVEL_SLC)
             return done, LEVEL_SLC
 
         # Node level: the attraction memory (or the overflow buffer).
@@ -255,6 +281,8 @@ class ComaMachine:
             if metrics is not None:
                 metrics.access("r", LEVEL_AM, done - now)
                 metrics.node_hit(node.id)
+            if spans is not None:
+                spans.end(done, LEVEL_AM)
             return done, LEVEL_AM
         if line in node.overflow:
             done = self._am_access(node, now)
@@ -267,6 +295,8 @@ class ComaMachine:
             if metrics is not None:
                 metrics.access("r", LEVEL_AM, done - now)
                 metrics.node_hit(node.id)
+            if spans is not None:
+                spans.end(done, LEVEL_AM)
             return done, LEVEL_AM
         if not self._inclusive:
             sr = node.slc_resident.get(line)
@@ -284,6 +314,8 @@ class ComaMachine:
                 if metrics is not None:
                     metrics.access("r", LEVEL_AM, done - now)
                     metrics.node_hit(node.id)
+                if spans is not None:
+                    spans.end(done, LEVEL_AM)
                 return done, LEVEL_AM
 
         # Read node miss.
@@ -310,6 +342,8 @@ class ComaMachine:
                                   done - now, addr)
             if metrics is not None:
                 metrics.access("r", LEVEL_REMOTE, done - now)
+            if spans is not None:
+                spans.end(done, LEVEL_REMOTE)
             return done, LEVEL_REMOTE
         am.fill_way(way, line, SHARED)
         node.note_present(line)
@@ -324,6 +358,9 @@ class ComaMachine:
                                   done - now, addr)
         if metrics is not None:
             metrics.access("r", LEVEL_REMOTE, done - now)
+        if spans is not None:
+            spans.phase("fill_dram", s + self._t_dram_lat)
+            spans.end(done, LEVEL_REMOTE)
         return done, LEVEL_REMOTE
 
     def write(self, proc: int, addr: int, now: int) -> int:
@@ -334,6 +371,9 @@ class ComaMachine:
         release is pending.
         """
         self.counters.writes += 1
+        spans = self.spans
+        if spans is not None:
+            spans.begin(now, proc, "w", addr >> self._shift, addr)
         self._bg = True
         try:
             done, level = self._write_access(proc, addr, now)
@@ -344,6 +384,8 @@ class ComaMachine:
                               done - now, addr)
         if self.metrics is not None:
             self.metrics.access("w", level, done - now)
+        if spans is not None:
+            spans.end(done, level)
         return done
 
     def rmw(self, proc: int, addr: int, now: int) -> tuple[int, str]:
@@ -353,23 +395,33 @@ class ComaMachine:
         ``(completion_time, level)`` for stall accounting.
         """
         self.counters.atomics += 1
+        spans = self.spans
+        if spans is not None:
+            spans.begin(now, proc, "rmw", addr >> self._shift, addr)
         done, level = self._write_access(proc, addr, now)
         if self.trace is not None:
             self.trace.access(now, proc, "rmw", addr >> self._shift, level,
                               done - now, addr)
         if self.metrics is not None:
             self.metrics.access("rmw", level, done - now)
+        if spans is not None:
+            spans.end(done, level)
         return done, level
 
     def write_stalling(self, proc: int, addr: int, now: int) -> tuple[int, str]:
         """A write the processor waits for (sequential-consistency mode)."""
         self.counters.writes += 1
+        spans = self.spans
+        if spans is not None:
+            spans.begin(now, proc, "w", addr >> self._shift, addr)
         done, level = self._write_access(proc, addr, now)
         if self.trace is not None:
             self.trace.access(now, proc, "w", addr >> self._shift, level,
                               done - now, addr)
         if self.metrics is not None:
             self.metrics.access("w", level, done - now)
+        if spans is not None:
+            spans.end(done, level)
         return done, level
 
     # ------------------------------------------------------------------
@@ -382,6 +434,7 @@ class ComaMachine:
         c = self.counters
         line = addr >> self._shift
         trace = self.trace
+        spans = self.spans
         if (addr // self._page_size) not in self._page_home:
             self._materialize_page(addr, self.nodes[self._node_of[proc]], now)
 
@@ -429,6 +482,9 @@ class ComaMachine:
             c.upgrades += 1
             s = node.nc.acquire(now, self._t_nc_busy, self._bg)
             t = self._upgrade_broadcast(node, line, s + self._t_nc)
+            if spans is not None:
+                spans.phase("nc_out", s + self._t_nc)
+                spans.phase("upgrade_bus", t)
             self._invalidate_others(line, node)
             if trace is not None:
                 trace.transition(t, node.id, line, "upgrade",
@@ -475,6 +531,8 @@ class ComaMachine:
         t = s + self._t_dram_lat
         self._fill_hierarchy(proc, node, line, way)
         self.slcs[proc].mark_dirty(line)
+        if spans is not None:
+            spans.phase("fill_dram", t)
         return t + self._t_remote, LEVEL_REMOTE
 
     @hotpath
@@ -887,16 +945,27 @@ class ComaMachine:
         """
         nc_busy = self._t_nc_busy
         nc_ns = self._t_nc
+        spans = self.spans
         if self._bg:
             nc = local.nc
             bus = self.bus
             s = nc.acquire(now, nc_busy, True)
             t = bus.phase(s + nc_ns, True)
+            if spans is not None:
+                spans.phase("nc_out", s + nc_ns)
+                spans.phase("bus_arb", bus.arb_start(t))
+                spans.phase("bus_req", t)
             s = owner.nc.acquire(t, nc_busy, True)
             t = s + nc_ns
             s = owner.dram.acquire(t, self._t_dram_busy, True)
             t = bus.phase(s + self._t_dram_lat, True)
+            if spans is not None:
+                spans.phase("remote_am", s + self._t_dram_lat)
+                spans.phase("bus_arb", bus.arb_start(t))
+                spans.phase("bus_reply", t)
             s = nc.acquire(t, nc_busy, True)
+            if spans is not None:
+                spans.phase("nc_ret", s + nc_ns)
             return s + nc_ns
         lnc = local.nc
         onc = owner.nc
@@ -912,6 +981,8 @@ class ComaMachine:
             s = now
         lnc.next_free = s + nc_busy
         t = s + nc_ns
+        if spans is not None:
+            spans.phase("nc_out", t)
         # bus request phase
         b = br.next_free
         if b < t:
@@ -919,7 +990,11 @@ class ComaMachine:
         br.next_free = b + bus_busy
         if bm is not None:
             bm.phase(b - t, bus_busy)
+        if spans is not None:
+            spans.phase("bus_arb", b)
         t = b + bus_phase
+        if spans is not None:
+            spans.phase("bus_req", t)
         # owner NC in
         s = onc.next_free
         if s < t:
@@ -936,6 +1011,8 @@ class ComaMachine:
         odram.busy_ns += self._t_dram_busy
         odram.uses += 1
         t = s + self._t_dram_lat
+        if spans is not None:
+            spans.phase("remote_am", t)
         # bus reply phase
         b = br.next_free
         if b < t:
@@ -945,7 +1022,11 @@ class ComaMachine:
         br.uses += 2
         if bm is not None:
             bm.phase(b - t, bus_busy)
+        if spans is not None:
+            spans.phase("bus_arb", b)
         t = b + bus_phase
+        if spans is not None:
+            spans.phase("bus_reply", t)
         # local NC return
         s = lnc.next_free
         if s < t:
@@ -953,6 +1034,8 @@ class ComaMachine:
         lnc.next_free = s + nc_busy
         lnc.busy_ns += 2 * nc_busy
         lnc.uses += 2
+        if spans is not None:
+            spans.phase("nc_ret", s + nc_ns)
         return s + nc_ns
 
     def _classify_read_miss(self, node: ComaNode, line: int) -> None:

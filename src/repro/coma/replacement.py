@@ -134,6 +134,8 @@ class ReplacementEngine:
                 m.trace.replacement(now, src.id, src.id, line, "to_slc", hops)
             if m.metrics is not None:
                 m.metrics.relocation("to_slc", hops)
+            if m.spans is not None:
+                m.spans.note_relocation()
             return True
 
         # 1. A sharer node can take over ownership without a data transfer:
@@ -164,6 +166,8 @@ class ReplacementEngine:
                                    state_name(new_state))
             if m.metrics is not None:
                 m.metrics.relocation("to_sharer", hops)
+            if m.spans is not None:
+                m.spans.note_relocation()
             m.strip_node_copy(src, src_way, REMOVED_EVICTED)
             return True
 
@@ -253,6 +257,8 @@ class ReplacementEngine:
                                state_name(state))
         if m.metrics is not None:
             m.metrics.relocation(outcome, hops)
+        if m.spans is not None:
+            m.spans.note_relocation()
         m.strip_node_copy(src, src_way, REMOVED_EVICTED)
         dst.am.fill_way(dst_way, line, state)
         dst.note_present(line)
@@ -271,6 +277,8 @@ class ReplacementEngine:
             m.trace.replacement(m.now, node.id, -1, line, "overflow_park", 0)
         if m.metrics is not None:
             m.metrics.relocation("overflow_park", 0)
+        if m.spans is not None:
+            m.spans.note_relocation()
         # The line is still present in the node (overflow), so strip only
         # the AM way, not the node-level tracking.
         m.backinvalidate_slcs(node, way)

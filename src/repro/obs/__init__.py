@@ -21,7 +21,13 @@ explainable:
   log2-bucket histograms, labeled families) instrumented across the hot
   layers, zero-overhead when disabled;
 * :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text and JSON
-  snapshot exporters for the registry (behind ``coma-sim metrics``).
+  snapshot exporters for the registry (behind ``coma-sim metrics``),
+  with exemplar support linking latency buckets to span trace ids;
+* :mod:`repro.obs.spans`       — causal span trees per memory access and
+  the :class:`StallAttribution` latency-attribution aggregator (behind
+  ``coma-sim attribute``);
+* :mod:`repro.obs.timeline`    — :class:`TimelineSampler` columnar
+  metric series over simulated time (JSON / Perfetto counter tracks).
 
 This package is part of the deterministic core (see the DET lint rules):
 it never reads the wall clock — timestamps are simulated nanoseconds, and
@@ -34,6 +40,7 @@ from repro.obs.events import (
     BusTx,
     MemAccess,
     Replacement,
+    SpanEvent,
     SyncOp,
     SyncStall,
     Transition,
@@ -45,11 +52,19 @@ from repro.obs.manifest import RunManifest, git_revision, provenance_header
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.openmetrics import parse_openmetrics, to_openmetrics
 from repro.obs.sink import CollectorSink, TeeSink, TraceSink
+from repro.obs.spans import (
+    SpanBuilder,
+    StallAttribution,
+    format_attribution,
+    format_span_tree,
+)
+from repro.obs.timeline import CompositeProfiler, TimelineSampler
 
 __all__ = [
     "BusTx",
     "ChromeTraceSink",
     "CollectorSink",
+    "CompositeProfiler",
     "Counter",
     "FlightRecorder",
     "Gauge",
@@ -60,12 +75,18 @@ __all__ = [
     "MetricsRegistry",
     "Replacement",
     "RunManifest",
+    "SpanBuilder",
+    "SpanEvent",
+    "StallAttribution",
     "SyncOp",
     "SyncStall",
     "TeeSink",
+    "TimelineSampler",
     "TraceSink",
     "Transition",
+    "format_attribution",
     "format_event",
+    "format_span_tree",
     "git_revision",
     "parse_openmetrics",
     "provenance_header",

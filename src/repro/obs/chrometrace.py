@@ -1,10 +1,12 @@
 """Chrome trace-event exporter (Perfetto / chrome://tracing).
 
 Produces the JSON object format of the Trace Event spec: duration events
-(``ph: "X"``) for memory accesses and sync waits, instant events
-(``ph: "i"``) for protocol transitions, bus transactions and replacement
-steps, and metadata events naming one track per processor, per node and
-per bus.  Open the file directly in https://ui.perfetto.dev.
+(``ph: "X"``) for memory accesses, sync waits and span-tree phases,
+instant events (``ph: "i"``) for protocol transitions, bus transactions
+and replacement steps, flow events (``ph: "s"``/``"t"``) that draw each
+span tree as connected arrows, counter tracks (``ph: "C"``) for the
+timeline sampler, and metadata events naming one track per processor,
+per node and per bus.  Open the file directly in https://ui.perfetto.dev.
 
 Simulated nanoseconds map to trace microseconds (the spec's unit), so a
 148 ns AM access renders as 0.148 µs.
@@ -22,6 +24,8 @@ from repro.obs.sink import TraceSink
 PID_PROCESSORS = 1
 PID_NODES = 2
 PID_BUSES = 3
+PID_SPANS = 4
+PID_TIMELINE = 5
 
 
 def _us(t_ns: int) -> float:
@@ -31,12 +35,20 @@ def _us(t_ns: int) -> float:
 class ChromeTraceSink(TraceSink):
     """Collect trace events in memory; write JSON on :meth:`close`."""
 
+    #: Drawing span trees costs one slice + one flow event per span, so
+    #: the machine only builds spans when a sink asks (see
+    #: :class:`~repro.obs.sink.TraceSink`).  Off by default to keep the
+    #: flat-event export byte-identical to pre-span versions; the CLI's
+    #: ``--spans`` flag flips the instance attribute.
+    wants_spans = False
+
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self.path = Path(path) if path is not None else None
         self.trace_events: list[dict] = []
         self.count = 0
         self._bus_tids: dict[str, int] = {}
         self._seen_tids: set[tuple[int, int]] = set()
+        self._span_pid_named = False
 
     # -- typed entry points --------------------------------------------
 
@@ -88,6 +100,34 @@ class ChromeTraceSink(TraceSink):
         })
         self._name_thread(PID_PROCESSORS, proc, f"P{proc}")
 
+    def span(self, t, dur_ns, trace_id, span_id, parent_id, name,
+             proc, line, op, level, relocs: int = 0) -> None:
+        root = parent_id == 0
+        args = {"trace": trace_id, "span": span_id, "parent": parent_id,
+                "line": hex(line), "dur_ns": dur_ns}
+        if relocs:
+            args["relocs"] = relocs
+        self._add({
+            "ph": "X", "pid": PID_SPANS, "tid": proc,
+            "ts": _us(t), "dur": _us(dur_ns),
+            "name": f"{op} -> {level}" if root else name,
+            "cat": "span", "args": args,
+        })
+        # Flow arrows stitch the tree: the root starts flow ``trace_id``,
+        # each phase is a step, so Perfetto draws root -> phase arrows.
+        self._add({
+            "ph": "s" if root else "t", "pid": PID_SPANS, "tid": proc,
+            "ts": _us(t), "id": trace_id, "name": "access-flow",
+            "cat": "span",
+        })
+        self._name_thread(PID_SPANS, proc, f"P{proc} spans")
+        if not self._span_pid_named:
+            self._span_pid_named = True
+            self.trace_events.append({
+                "ph": "M", "pid": PID_SPANS, "tid": 0,
+                "name": "process_name", "args": {"name": "spans"},
+            })
+
     # -- plumbing -------------------------------------------------------
 
     def emit(self, ev) -> None:
@@ -107,6 +147,10 @@ class ChromeTraceSink(TraceSink):
                              ev.outcome, ev.hops)
         elif kind == "sync":
             self.sync(ev.t, ev.proc, ev.primitive, ev.obj, ev.wait_ns)
+        elif kind == "span":
+            self.span(ev.t, ev.dur_ns, ev.trace_id, ev.span_id,
+                      ev.parent_id, ev.name, ev.proc, ev.line, ev.op,
+                      ev.level, ev.relocs)
 
     def _add(self, d: dict) -> None:
         self.trace_events.append(d)
@@ -162,12 +206,14 @@ def validate_trace_events(obj: dict) -> list[str]:
             if key not in e:
                 problems.append(f"event {i}: missing required key {key!r}")
         ph = e.get("ph")
-        if ph not in ("X", "i", "M", "B", "E", "C"):
+        if ph not in ("X", "i", "M", "B", "E", "C", "s", "t", "f"):
             problems.append(f"event {i}: unexpected phase {ph!r}")
-        if ph in ("X", "i") and "ts" not in e:
+        if ph in ("X", "i", "C", "s", "t", "f") and "ts" not in e:
             problems.append(f"event {i}: {ph!r} event needs 'ts'")
         if ph == "X" and "dur" not in e:
             problems.append(f"event {i}: duration event needs 'dur'")
         if ph == "i" and e.get("s") not in ("t", "p", "g"):
             problems.append(f"event {i}: instant event needs scope 's'")
+        if ph in ("s", "t", "f") and "id" not in e:
+            problems.append(f"event {i}: flow event needs 'id'")
     return problems

@@ -19,6 +19,13 @@ event           meaning
 ``syncop``      one synchronization *ordering point*: a lock acquire or
                 release, a barrier arrival or departure — the
                 happens-before edges race detection is built from
+``span``        one node of a causal span tree: the root covers a whole
+                memory access, children are its contiguous latency
+                phases (L1 probe, bus arbitration, remote AM lookup,
+                ...).  Child durations partition the root's duration
+                exactly — the conservation invariant the attribution
+                layer is built on.  Emitted only for sinks that opt in
+                (``wants_spans``)
 ==============  ========================================================
 
 Events are plain frozen dataclasses holding only ints and strings, so a
@@ -38,6 +45,7 @@ EV_BUS = "bus"
 EV_REPLACEMENT = "replacement"
 EV_SYNC = "sync"
 EV_SYNCOP = "syncop"
+EV_SPAN = "span"
 
 
 @dataclass(frozen=True, slots=True)
@@ -166,6 +174,42 @@ class SyncOp:
                 "obj": self.obj}
 
 
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One node of a causal span tree (OpenTelemetry-style ids).
+
+    The root span of an access (``parent_id == 0``, ``name == "access"``)
+    covers ``[t, t + dur_ns]`` — exactly the access's latency; its
+    children carry the contiguous phases that partition that interval.
+    ``trace_id`` groups one access's tree; ``span_id`` is unique per span
+    within a builder; both are deterministic sequence numbers, never
+    random.  The root additionally counts the owner-line relocations the
+    access triggered (``relocs`` — relocations run in the background and
+    contribute traffic, not latency, so they are annotated, not timed).
+    """
+
+    t: int          # span start, simulated ns
+    dur_ns: int
+    trace_id: int
+    span_id: int
+    parent_id: int  # 0 marks the access root
+    name: str       # "access" for roots; phase name for children
+    proc: int
+    line: int
+    op: str         # "r" | "w" | "rmw"
+    level: str      # level that satisfied the access ("l1".."remote")
+    relocs: int = 0
+
+    kind = EV_SPAN
+
+    def to_record(self) -> dict:
+        return {"ev": EV_SPAN, "t": self.t, "dur": self.dur_ns,
+                "trace": self.trace_id, "span": self.span_id,
+                "parent": self.parent_id, "name": self.name,
+                "proc": self.proc, "line": self.line, "op": self.op,
+                "level": self.level, "relocs": self.relocs}
+
+
 # ----------------------------------------------------------------------
 def record_to_event(d: dict):
     """Rebuild a typed event from a serialized record (see ``to_record``)."""
@@ -187,6 +231,10 @@ def record_to_event(d: dict):
                          d["wait"])
     if ev == EV_SYNCOP:
         return SyncOp(d["t"], d["proc"], d["op"], d["primitive"], d["obj"])
+    if ev == EV_SPAN:
+        return SpanEvent(d["t"], d["dur"], d["trace"], d["span"],
+                         d["parent"], d["name"], d["proc"], d["line"],
+                         d["op"], d["level"], d.get("relocs", 0))
     raise ValueError(f"unknown event record kind {ev!r}")
 
 
@@ -215,4 +263,9 @@ def format_event(ev) -> str:
     if k == EV_SYNCOP:
         return (f"{ev.t:>12} ns  P{ev.proc:<2} {ev.op} "
                 f"{ev.primitive} {ev.obj}")
+    if k == EV_SPAN:
+        role = "access" if ev.parent_id == 0 else f"  .{ev.name}"
+        return (f"{ev.t:>12} ns  P{ev.proc:<2} {role} "
+                f"[{ev.op}->{ev.level}] line {ev.line:#x} +{ev.dur_ns} ns "
+                f"(trace {ev.trace_id})")
     return repr(ev)  # pragma: no cover - future event kinds

@@ -51,12 +51,32 @@ def _labelset(names, values, extra: Optional[tuple[str, str]] = None) -> str:
     return "{" + ",".join(pairs) + "}" if pairs else ""
 
 
-def _render_family(fam: Family, lines: list[str]) -> None:
+def _exemplar_bucket(child, value: int) -> int:
+    """Index of the bucket an observation of ``value`` landed in (the
+    same arithmetic as :meth:`~repro.obs.metrics.Histogram.observe`)."""
+    v = int(value)
+    if v <= 1:
+        return 0
+    idx = (v - 1).bit_length()
+    last = len(child.counts) - 1
+    return idx if idx <= last else last
+
+
+def _render_exemplar(labels: dict, value) -> str:
+    pairs = ",".join(
+        f'{n}="{escape_label_value(str(v))}"' for n, v in sorted(labels.items())
+    )
+    return f" # {{{pairs}}} {_fmt_value(value)}"
+
+
+def _render_family(fam: Family, lines: list[str],
+                   exemplars: Optional[dict] = None) -> None:
     name = fam.name
     lines.append(f"# TYPE {name} {fam.type}")
     if fam.help:
         lines.append(f"# HELP {name} {_escape_help(fam.help)}")
     names = fam.label_names
+    fam_ex = exemplars.get(name) if exemplars else None
     for values, child in fam.samples():
         if fam.type == "counter":
             lines.append(
@@ -68,11 +88,18 @@ def _render_family(fam: Family, lines: list[str]) -> None:
                 f"{name}{_labelset(names, values)} {_fmt_value(child.value)}"
             )
         else:  # histogram
-            for bound, cum in zip(child.bucket_bounds(), child.cumulative()):
+            ex = fam_ex.get(values) if fam_ex else None
+            ex_bucket = _exemplar_bucket(child, ex[1]) if ex else -1
+            for i, (bound, cum) in enumerate(
+                zip(child.bucket_bounds(), child.cumulative())
+            ):
                 le = "+Inf" if bound == float("inf") else str(bound)
-                lines.append(
+                line = (
                     f"{name}_bucket{_labelset(names, values, ('le', le))} {cum}"
                 )
+                if i == ex_bucket:
+                    line += _render_exemplar(ex[0], ex[1])
+                lines.append(line)
             lines.append(
                 f"{name}_sum{_labelset(names, values)} {_fmt_value(child.sum)}"
             )
@@ -81,11 +108,19 @@ def _render_family(fam: Family, lines: list[str]) -> None:
             )
 
 
-def to_openmetrics(registry: MetricsRegistry) -> str:
-    """The registry in OpenMetrics text format, ``# EOF``-terminated."""
+def to_openmetrics(registry: MetricsRegistry,
+                   exemplars: Optional[dict] = None) -> str:
+    """The registry in OpenMetrics text format, ``# EOF``-terminated.
+
+    ``exemplars`` — optional OpenMetrics exemplars, keyed
+    ``{family name: {label-value tuple: (exemplar labels, value)}}`` (the
+    shape :meth:`repro.obs.spans.StallAttribution.exemplars` returns).
+    Each lands on the bucket line its value falls into, so a scrape can
+    jump from a latency bucket straight to the slowest trace id in it.
+    """
     lines: list[str] = []
     for fam in registry.families():
-        _render_family(fam, lines)
+        _render_family(fam, lines, exemplars)
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
@@ -204,15 +239,16 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
             continue
         if line.startswith("#"):
             continue
-        # A sample: name{labels} value
-        brace = line.find("{")
+        # A sample: name{labels} value [# {exemplar labels} exemplar]
+        body, _, _ = line.partition(" # ")
+        brace = body.find("{")
         if brace >= 0:
-            close = line.rindex("}")
-            sample_name = line[:brace]
-            labels = _parse_labels(line[brace + 1:close])
-            value_text = line[close + 1:].strip()
+            close = body.rindex("}")
+            sample_name = body[:brace]
+            labels = _parse_labels(body[brace + 1:close])
+            value_text = body[close + 1:].strip()
         else:
-            sample_name, _, value_text = line.partition(" ")
+            sample_name, _, value_text = body.partition(" ")
             labels = {}
         family = _family_of(sample_name, families)
         if family is None:

@@ -21,6 +21,7 @@ from repro.obs.events import (
     BusTx,
     MemAccess,
     Replacement,
+    SpanEvent,
     SyncOp,
     SyncStall,
     Transition,
@@ -29,6 +30,13 @@ from repro.obs.events import (
 
 class TraceSink:
     """Base sink: typed entry points funnel into :meth:`emit`."""
+
+    #: Span emission is opt-in: building a span tree per access costs
+    #: allocations the classic flat events avoid, so the machine only
+    #: installs a :class:`repro.obs.spans.SpanBuilder` when the attached
+    #: sink asks for it.  Sinks that consume span events set this True
+    #: (class attribute or per instance).
+    wants_spans = False
 
     # -- emission API used by the instrumented machines ----------------
 
@@ -56,6 +64,12 @@ class TraceSink:
                obj: int) -> None:
         self.emit(SyncOp(t, proc, op, primitive, obj))
 
+    def span(self, t: int, dur_ns: int, trace_id: int, span_id: int,
+             parent_id: int, name: str, proc: int, line: int, op: str,
+             level: str, relocs: int = 0) -> None:
+        self.emit(SpanEvent(t, dur_ns, trace_id, span_id, parent_id,
+                            name, proc, line, op, level, relocs))
+
     # -- observer attach path -------------------------------------------
 
     def attach_to(self, sim, every: Optional[int] = None) -> None:
@@ -67,6 +81,9 @@ class TraceSink:
             sim.machine.set_trace(self)
         elif isinstance(existing, TeeSink):
             existing.sinks.append(self)
+            # Re-run set_trace so span wiring reflects the new member
+            # (a wants_spans sink attached onto a span-less tee).
+            sim.machine.set_trace(existing)
         else:
             sim.machine.set_trace(TeeSink(existing, self))
 
@@ -106,6 +123,10 @@ class TeeSink(TraceSink):
 
     def __init__(self, *sinks: TraceSink) -> None:
         self.sinks = list(sinks)
+
+    @property
+    def wants_spans(self) -> bool:
+        return any(getattr(s, "wants_spans", False) for s in self.sinks)
 
     def emit(self, ev) -> None:
         for s in self.sinks:

@@ -24,7 +24,7 @@ from repro.sim.events import (
     EV_WRITE,
 )
 from repro.sim.results import SimulationResult
-from repro.stats.timeline import CompositeProfiler
+from repro.obs.timeline import CompositeProfiler
 from repro.sync.primitives import SimBarrier, SimLock, SyncSpace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,7 +88,7 @@ class Simulation:
         :class:`~repro.obs.metrics.MetricsRegistry` builds its pre-bound
         instrument bundles); anything exposing ``sample(machine)``
         registers as a sampling profiler, merged into a
-        :class:`~repro.stats.timeline.CompositeProfiler` when one is
+        :class:`~repro.obs.timeline.CompositeProfiler` when one is
         already attached.  ``every`` overrides the sampling interval for
         profilers and is forwarded to ``attach_to`` hooks.
         """
@@ -135,7 +135,12 @@ class Simulation:
         except (AssertionError, ReproError) as exc:
             trace = getattr(self.machine, "trace", None)
             if trace is not None:
-                exc.flight_dump = trace.on_simulation_error(exc)
+                dump = trace.on_simulation_error(exc)
+                spans = getattr(self.machine, "spans", None)
+                if spans is not None and spans.open:
+                    stack = spans.open_stack_text()
+                    dump = f"{dump}\n{stack}" if dump else stack
+                exc.flight_dump = dump
             raise
         return self._collect()
 

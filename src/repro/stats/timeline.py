@@ -1,4 +1,4 @@
-"""Phase-resolved traffic timelines.
+"""Phase-resolved traffic timelines (legacy profiler).
 
 The figures report whole-run traffic totals; this profiler resolves them
 over *simulated time*, which exposes the phase structure of the workloads
@@ -8,20 +8,42 @@ rhythm of Cholesky).  It rides the same sampling hook as
 machine's cumulative per-class traffic and the current simulated time;
 differencing adjacent samples yields the series.
 
-Attach via ``Simulation(..., profiler=TrafficTimeline(), profile_every=N)``
-or combine several profilers with :class:`CompositeProfiler`.
+.. deprecated::
+   :class:`TrafficTimeline` duplicates what
+   :class:`repro.obs.timeline.TimelineSampler` now does for *every*
+   machine/registry metric (bus utilization, AM occupancy, miss rate,
+   plus the traffic classes) with JSON and Perfetto exports.  The class
+   stays for the traffic-only strip chart and existing callers, but new
+   code should attach a ``TimelineSampler``.  :class:`CompositeProfiler`
+   moved to :mod:`repro.obs.timeline` and is re-exported here.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
+
+from repro.obs.timeline import CompositeProfiler, traffic_by_class
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.coma.machine import ComaMachine
 
+__all__ = [
+    "CompositeProfiler",
+    "TrafficSample",
+    "TrafficTimeline",
+    "TrafficWindow",
+    "format_timeline",
+]
 
-@dataclass(frozen=True)
+
+def _sorted_dict_repr(d: dict) -> str:
+    inner = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(d.items()))
+    return "{" + inner + "}"
+
+
+@dataclass(frozen=True, repr=False)
 class TrafficSample:
     """Cumulative state at one sample point."""
 
@@ -32,8 +54,12 @@ class TrafficSample:
     def total(self) -> int:
         return sum(self.bytes_by_class.values())
 
+    def __repr__(self) -> str:  # sorted: repr is diff- and doctest-stable
+        return (f"TrafficSample(sim_time_ns={self.sim_time_ns}, "
+                f"bytes_by_class={_sorted_dict_repr(self.bytes_by_class)})")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, repr=False)
 class TrafficWindow:
     """Traffic between two adjacent samples."""
 
@@ -50,29 +76,33 @@ class TrafficWindow:
         dur = self.end_ns - self.start_ns
         return 1000.0 * self.total / dur if dur > 0 else 0.0
 
-
-class CompositeProfiler:
-    """Fan a simulation's profiler hook out to several profilers."""
-
-    def __init__(self, profilers: Sequence) -> None:
-        self.profilers = list(profilers)
-
-    def sample(self, machine) -> None:
-        for p in self.profilers:
-            p.sample(machine)
+    def __repr__(self) -> str:  # sorted: repr is diff- and doctest-stable
+        return (f"TrafficWindow(start_ns={self.start_ns}, "
+                f"end_ns={self.end_ns}, "
+                f"bytes_by_class={_sorted_dict_repr(self.bytes_by_class)})")
 
 
 class TrafficTimeline:
-    """Samples cumulative bus traffic against simulated time."""
+    """Samples cumulative bus traffic against simulated time.
+
+    .. deprecated:: use :class:`repro.obs.timeline.TimelineSampler`,
+       which covers traffic plus utilization/occupancy/miss-rate series.
+    """
 
     def __init__(self) -> None:
+        warnings.warn(
+            "TrafficTimeline is deprecated; attach "
+            "repro.obs.timeline.TimelineSampler instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.samples: list[TrafficSample] = []
 
     def sample(self, machine: "ComaMachine") -> None:
         self.samples.append(
             TrafficSample(
                 sim_time_ns=machine.now,
-                bytes_by_class={k.value: v for k, v in machine.bus.tx_bytes.items()},
+                bytes_by_class=traffic_by_class(machine),
             )
         )
 

@@ -218,6 +218,8 @@ class TestAttachPath:
         assert sink.events
         assert registry.snapshot()["sim_events_processed"]["series"][""] > 0
 
+    @pytest.mark.filterwarnings(
+        "ignore:TrafficTimeline is deprecated:DeprecationWarning")
     def test_attach_second_profiler_composes(self):
         from repro.stats.profiler import SharingProfiler
         from repro.stats.timeline import CompositeProfiler, TrafficTimeline

@@ -14,6 +14,12 @@ from repro.stats.timeline import (
     format_timeline,
 )
 
+# The class under test is deprecated (TimelineSampler supersedes it);
+# these tests pin its continued behaviour, so the warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:TrafficTimeline is deprecated:DeprecationWarning"
+)
+
 
 class TestWindows:
     def test_differencing(self):
