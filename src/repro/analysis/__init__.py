@@ -18,12 +18,40 @@ This package is the repo's correctness gate (``coma-sim verify`` /
   value integrity (V…) and relocation ping-pong (L003) on live runs;
 * :mod:`repro.analysis.lint` — the determinism/hygiene AST linter
   (DET/MUT/FLT/EXC rules) over ``src/repro``;
-* :mod:`repro.analysis.report` — shared finding vocabulary.
+* :mod:`repro.analysis.certify` — certification of the compiled
+  dispatch against the source table (C101–C104);
+* :mod:`repro.analysis.bounds` — static per-path latency envelopes
+  derived from the compiled dispatch, certified against observed span
+  trees (B101–B103, ``coma-sim bounds``);
+* :mod:`repro.analysis.coverage` — reachable table cells vs cells the
+  workloads exercise: dead cells, gaps and directed micro-workloads
+  (``coma-sim coverage``);
+* :mod:`repro.analysis.report` — shared finding vocabulary and the
+  consolidated rule registry (``coma-sim lint --explain``).
 
 See ``docs/VERIFICATION.md`` for the full catalogue and suppression
 syntax.
 """
 
+from repro.analysis.bounds import (
+    BOUNDS_RULES,
+    BoundsCertifier,
+    bound_table,
+    certify_bounds,
+    enumerate_paths,
+    envelope_for,
+    format_bounds,
+)
+from repro.analysis.certify import CERTIFY_RULES
+from repro.analysis.coverage import (
+    MICRO_RECIPES,
+    CoverageAnalysis,
+    CoverageMap,
+    format_coverage,
+    reachable_cells,
+    run_micro,
+    table_cells,
+)
 from repro.analysis.crosscheck import crosscheck
 from repro.analysis.invariants import ALL_RULES, check_line_state, check_table
 from repro.analysis.lint import RULES as LINT_RULES
@@ -31,7 +59,13 @@ from repro.analysis.lint import lint_file, lint_source, lint_tree
 from repro.analysis.liveness import check_liveness, format_liveness_report
 from repro.analysis.model import ProtocolModel, Step
 from repro.analysis.modelcheck import check_protocol, format_report
-from repro.analysis.report import AnalysisReport, Finding, format_findings
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    explain_rule,
+    format_findings,
+    rule_registry,
+)
 from repro.analysis.sanitize import (
     CoherenceSanitizer,
     build_provenance,
@@ -40,23 +74,40 @@ from repro.analysis.sanitize import (
 
 __all__ = [
     "ALL_RULES",
+    "BOUNDS_RULES",
+    "CERTIFY_RULES",
     "AnalysisReport",
+    "BoundsCertifier",
     "CoherenceSanitizer",
+    "CoverageAnalysis",
+    "CoverageMap",
     "Finding",
     "LINT_RULES",
+    "MICRO_RECIPES",
     "ProtocolModel",
     "Step",
+    "bound_table",
     "build_provenance",
+    "certify_bounds",
     "check_line_state",
     "check_liveness",
     "check_protocol",
     "check_table",
     "crosscheck",
+    "enumerate_paths",
+    "envelope_for",
+    "explain_rule",
+    "format_bounds",
+    "format_coverage",
     "format_findings",
     "format_liveness_report",
     "format_report",
     "lint_file",
     "lint_source",
     "lint_tree",
+    "reachable_cells",
+    "rule_registry",
+    "run_micro",
+    "table_cells",
     "sanitizer_for",
 ]

@@ -61,6 +61,22 @@ from repro.analysis.report import AnalysisReport, Finding
 from repro.coma.protocol import EVENTS, STATES, TRANSITIONS, Transition
 from repro.coma.states import EXCLUSIVE, INVALID, SHARED, state_name
 
+#: Rule documentation, mirrored into :func:`repro.analysis.report.rule_registry`.
+CERTIFY_RULES = {
+    "C101": "malformed compiled artifact: wrong array shape, an entry "
+            "outside the state/action encoding, or a machine binding "
+            "(victim policy, flattened timing) that contradicts the "
+            "configuration it was compiled from",
+    "C102": "next-state divergence: a compiled (state, op, sharers) entry "
+            "— or a dispatch binding derived from one — disagrees with "
+            "the source table",
+    "C103": "bus-action divergence: a compiled (state, op) action "
+            "disagrees with the source table",
+    "C104": "bisimulation failure: the model checker's reachability "
+            "graph, replayed against compiled dispatch, diverges from "
+            "the source table's graph (minimal event trace attached)",
+}
+
 #: Same backstop the model checker uses; lockstep replay explores the
 #: identical (tiny) state space.
 MAX_STATES = 1_000_000

@@ -280,6 +280,7 @@ def build_dispatch(
     config, transitions: Sequence[Transition] = TRANSITIONS
 ) -> MachineDispatch:
     """Compile the protocol, timing and policies for one machine."""
+    validate_table(transitions, timing=config.timing)
     proto = compile_protocol(transitions)
     return MachineDispatch(
         protocol=proto,

@@ -10,6 +10,7 @@ assert on exact IDs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,33 @@ class AnalysisReport:
         self.findings.extend(other.findings)
         for key, value in other.stats.items():
             self.stats[key] = self.stats.get(key, 0) + value
+
+
+def rule_registry() -> dict[str, str]:
+    """Every stable rule ID the analysis passes can emit, with its doc.
+
+    Collected from the passes' own documentation dicts (imported lazily —
+    those modules import this one for :class:`Finding`).  Raises
+    ``ValueError`` on a duplicate ID so two passes can never silently
+    claim the same rule.
+    """
+    from repro.analysis.bounds import BOUNDS_RULES
+    from repro.analysis.certify import CERTIFY_RULES
+    from repro.analysis.invariants import ALL_RULES
+    from repro.analysis.lint import RULES as LINT_RULES
+
+    registry: dict[str, str] = {}
+    for source in (ALL_RULES, LINT_RULES, CERTIFY_RULES, BOUNDS_RULES):
+        for rule, doc in source.items():
+            if rule in registry:
+                raise ValueError(f"duplicate rule ID {rule!r}")
+            registry[rule] = doc
+    return registry
+
+
+def explain_rule(rule: str) -> Optional[str]:
+    """The documentation string for ``rule``, or None if unknown."""
+    return rule_registry().get(rule)
 
 
 def format_findings(findings: list[Finding]) -> str:

@@ -158,6 +158,23 @@ def _span_overhead(quick: bool, jobs: int) -> dict:
             "spec_key": spec.key()}
 
 
+def _bounds_overhead(quick: bool, jobs: int) -> dict:
+    """The event-loop suite with the static-bounds certifier attached —
+    its wall time against ``span_overhead``'s bounds the extra cost of
+    checking every span tree against its static envelope (the spans
+    themselves are already paid for there).  The run must certify clean:
+    a violation here means the timing model and the envelope diverged."""
+    from repro.analysis.bounds import certify_bounds
+
+    spec = _event_loop_spec(quick)
+    sim = build_simulation(spec)
+    cert = certify_bounds(sim, spec.machine)
+    if not cert.ok():
+        raise RuntimeError(f"bounds violations in bench run: {cert.counts()}")
+    return {"work": sim.events_processed, "unit": "events",
+            "spec_key": spec.key()}
+
+
 def _sweep(quick: bool, jobs: int) -> dict:
     pressures = (0.5, 0.8125) if quick else (0.5, 0.75, 0.8125, 0.875)
     specs = [
@@ -185,6 +202,9 @@ SUITES: tuple[Suite, ...] = (
     Suite("span_overhead",
           "event loop with per-access span trees + stall attribution",
           _span_overhead),
+    Suite("bounds_overhead",
+          "event loop with spans certified against static latency bounds",
+          _bounds_overhead),
     Suite("sweep", "parallel sweep engine, uncached points", _sweep),
 )
 

@@ -125,20 +125,35 @@ def _cmd_attribute(args: argparse.Namespace) -> int:
     )
     from repro.obs.timeline import TimelineSampler
 
+    from repro.analysis.bounds import BoundsCertifier, envelope_for
+
     spec = _trace_spec(args)
     att = StallAttribution(top_spans=args.top_spans)
     tl = TimelineSampler() if args.timeline else None
     sim = build_simulation(spec)
+    cert = BoundsCertifier(envelope_for(args.machine, sim.machine.config.timing))
     sim.attach(att)
+    sim.attach(cert)
     if tl is not None:
         sim.attach(tl, every=500)
     result = sim.run()
+    cert.finalize()
     report = att.report(stalls=result.stalls, elapsed_ns=result.elapsed_ns)
     report["spec_key"] = spec.key()
+    report["bounds"] = {
+        "spans_checked": cert.checked,
+        "violations": cert.counts(),
+        "ok": cert.ok(),
+    }
     if args.format == "json":
         out = _json.dumps(report, indent=2, sort_keys=True) + "\n"
     else:
         out = format_attribution(report) + "\n"
+        b = report["bounds"]
+        v = b["violations"]
+        out += (f"static bounds: {b['spans_checked']} span(s) checked, "
+                f"B101={v.get('B101', 0)} B102={v.get('B102', 0)} "
+                f"B103={v.get('B103', 0)}\n")
         trees = att.slowest_spans()
         if trees:
             out += f"{len(trees)} slowest access(es), full span trees:\n"
@@ -164,6 +179,141 @@ def _cmd_attribute(args: argparse.Namespace) -> int:
         print("conservation violations:", file=sys.stderr)
         for e in errs:
             print(f"  {e}", file=sys.stderr)
+        return 1
+    if not report["bounds"]["ok"]:
+        print("static bound violations:", file=sys.stderr)
+        for f in cert.findings[:5]:
+            print(f"  {f.rule}: {f.message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.bounds import (
+        BoundsCertifier,
+        bound_table,
+        envelope_for,
+        format_bounds,
+    )
+    from repro.experiments.runner import build_simulation
+
+    spec = _trace_spec(args)
+    sim = build_simulation(spec)
+    timing = sim.machine.config.timing
+    rows = bound_table(args.machine, timing)
+
+    cert = None
+    if args.check:
+        cert = BoundsCertifier(envelope_for(args.machine, timing),
+                               max_witnesses=args.max_witnesses)
+        sim.attach(cert)
+        sim.run()
+        cert.finalize()
+
+    if args.format == "json" or args.out:
+        from repro import __version__
+        from repro.obs.manifest import git_revision
+
+        payload = {
+            "provenance": {
+                "repro": __version__,
+                "git_rev": git_revision() or "unknown",
+                "tool": "coma-sim bounds",
+            },
+            "machine": args.machine,
+            "spec_key": spec.key(),
+            "bounds": [r.to_record() for r in rows],
+        }
+        if cert is not None:
+            payload["certification"] = cert.report()
+        text = _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        text = format_bounds(rows, args.machine) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"bounds: {args.out} ({args.format})")
+    else:
+        print(text, end="")
+
+    if cert is None:
+        return 0
+    counts = cert.counts()
+    if cert.ok():
+        print(f"bounds OK: {cert.checked} span(s) within the static "
+              f"envelope (machine={args.machine})")
+        return 0
+    print(f"bounds FAILED: {sum(counts.values())} violation(s) in "
+          f"{cert.checked} span(s): "
+          + " ".join(f"{k}={v}" for k, v in sorted(counts.items()) if v),
+          file=sys.stderr)
+    for f in cert.findings:
+        print(f"{f.rule}: {f.message}", file=sys.stderr)
+        if f.detail:
+            for line in f.detail.splitlines():
+                print(f"    {line}", file=sys.stderr)
+    return 1
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.coverage import (
+        MICRO_RECIPES,
+        CoverageAnalysis,
+        CoverageMap,
+        format_coverage,
+        run_micro,
+    )
+    from repro.experiments.runner import RunSpec, build_simulation
+
+    ana = CoverageAnalysis(n_nodes=args.nodes)
+    for wl in args.workloads:
+        for mp in args.memory_pressure:
+            spec = RunSpec(workload=wl, machine=args.machine,
+                           memory_pressure=mp, scale=args.scale)
+            sim = build_simulation(spec)
+            cov = CoverageMap()
+            cov.attach_to(sim)
+            sim.run()
+            ana.add_run(f"{wl}@mp={mp:g}", cov.exercised)
+    if args.micro:
+        micro: set = set()
+        for recipe in MICRO_RECIPES.values():
+            if recipe is not None:
+                micro |= run_micro(recipe).exercised
+        ana.add_run("micro", micro)
+    report = ana.report()
+
+    if args.format == "json" or args.out:
+        from repro import __version__
+        from repro.obs.manifest import git_revision
+
+        payload = {
+            "provenance": {
+                "repro": __version__,
+                "git_rev": git_revision() or "unknown",
+                "tool": "coma-sim coverage",
+            },
+            "machine": args.machine,
+            "scale": args.scale,
+            **report,
+        }
+        text = _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        text = format_coverage(report) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"coverage: {args.out} ({args.format})")
+    else:
+        print(text, end="")
+
+    if args.min_pct is not None and report["total_pct"] < args.min_pct:
+        print(f"coverage FAILED: {report['total_pct']:.2f}% of reachable "
+              f"cells < required {args.min_pct:.2f}%", file=sys.stderr)
         return 1
     return 0
 
@@ -368,6 +518,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.analysis.lint import default_root, lint_file, lint_tree
     from repro.analysis.report import AnalysisReport, format_findings
+
+    if args.explain:
+        from repro.analysis.report import rule_registry
+
+        registry = rule_registry()
+        doc = registry.get(args.explain)
+        if doc is None:
+            known = " ".join(sorted(registry))
+            print(f"coma-sim lint: unknown rule {args.explain!r}\n"
+                  f"known rules: {known}", file=sys.stderr)
+            return 2
+        print(f"{args.explain}: {doc}")
+        return 0
 
     report = AnalysisReport()
     for target in args.paths or [default_root()]:
@@ -662,6 +825,9 @@ def build_parser() -> argparse.ArgumentParser:
     ln.add_argument("--out", metavar="PATH",
                     help="also write the JSON report to a file (CI "
                     "artifact)")
+    ln.add_argument("--explain", metavar="RULE",
+                    help="print the documentation for one rule ID (from "
+                    "the consolidated registry) and exit")
     ln.set_defaults(func=_cmd_lint)
 
     pf = sub.add_parser("profile", help="sharing/replication profile of a run")
@@ -684,9 +850,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stamp the export with code version / git revision")
     exp.set_defaults(func=_cmd_export)
 
-    def _traced(sp: argparse.ArgumentParser) -> None:
+    def _traced(sp: argparse.ArgumentParser,
+                machines: tuple = ("coma", "hcoma")) -> None:
         sp.add_argument("workload", choices=workload_names())
-        sp.add_argument("--machine", choices=["coma", "hcoma"], default="coma")
+        sp.add_argument("--machine", choices=list(machines), default="coma")
         sp.add_argument("--procs-per-node", type=int, default=1,
                         choices=[1, 2, 4, 8, 16])
         sp.add_argument("--memory-pressure", "--mp", type=float, default=0.5)
@@ -733,6 +900,50 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also sample a metric timeline and write the "
                     "JSON series")
     at.set_defaults(func=_cmd_attribute)
+
+    bo = sub.add_parser(
+        "bounds",
+        help="static min/max latency bounds per access path, optionally "
+        "certified against a run's observed span trees (B101-B103)",
+    )
+    _traced(bo, machines=("coma", "hcoma", "numa"))
+    bo.add_argument("--check", action="store_true",
+                    help="run the workload and certify every span against "
+                    "its static envelope (non-zero exit on violation)")
+    bo.add_argument("--format", choices=["table", "json"], default="table")
+    bo.add_argument("--out", metavar="PATH",
+                    help="write the report to a file instead of stdout")
+    bo.add_argument("--max-witnesses", type=int, default=25, metavar="N",
+                    help="keep at most N violation witnesses")
+    bo.set_defaults(func=_cmd_bounds)
+
+    cv = sub.add_parser(
+        "coverage",
+        help="protocol-table coverage: reachable cells vs cells the "
+        "workloads exercise (dead cells, gaps, per-workload %)",
+    )
+    cv.add_argument("--workloads", nargs="*", metavar="WL",
+                    default=["synth_migratory", "synth_producer_consumer",
+                             "fft"],
+                    help="workloads to trace (default: two synthetics + fft)")
+    cv.add_argument("--machine", choices=["coma", "hcoma"], default="coma")
+    cv.add_argument("--memory-pressure", "--mp", type=float, nargs="*",
+                    default=[0.0625, 0.875], metavar="MP",
+                    help="memory pressures to trace each workload at "
+                    "(default: the paper's 6.25%% and 87.5%%)")
+    cv.add_argument("--scale", type=float, default=0.1)
+    cv.add_argument("--nodes", type=int, default=3, choices=[2, 3, 4],
+                    help="model-checker configuration for the reachable set")
+    cv.add_argument("--micro", action="store_true",
+                    help="also run the directed micro-workloads that drive "
+                    "otherwise-uncovered cells")
+    cv.add_argument("--min-pct", type=float, metavar="PCT",
+                    help="exit non-zero when total coverage of reachable "
+                    "cells falls below PCT (CI gate)")
+    cv.add_argument("--format", choices=["table", "json"], default="table")
+    cv.add_argument("--out", metavar="PATH",
+                    help="write the report to a file instead of stdout")
+    cv.set_defaults(func=_cmd_coverage)
 
     sz = sub.add_parser(
         "sanitize",

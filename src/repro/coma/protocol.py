@@ -140,13 +140,36 @@ def is_complete() -> bool:
     return all((s, e) in _TABLE for s in STATES for e in EVENTS)
 
 
-def validate_table(transitions: Iterable[Transition] = TRANSITIONS) -> None:
+#: Timing parameters each bus action's latency model consults.  A
+#: config that leaves one of these unset (or negative) would silently
+#: miscount simulated time, so ``validate_table(timing=...)`` rejects it
+#: before a dispatch is built (see ``repro.analysis.compile``).
+ACTION_TIMING_PARAMS: dict[str, tuple[str, ...]] = {
+    "read": ("nc_ns", "bus_phase_ns", "dram_latency_ns",
+             "remote_overhead_ns"),
+    "read_excl": ("nc_ns", "bus_phase_ns", "dram_latency_ns",
+                  "remote_overhead_ns"),
+    "upgrade": ("nc_ns", "bus_phase_ns"),
+    "replace": ("nc_ns", "bus_phase_ns", "dram_latency_ns"),
+}
+
+
+def validate_table(transitions: Iterable[Transition] = TRANSITIONS,
+                   timing: object = None) -> None:
     """Check the table is *total*: every (state, event) pair present exactly
     once, no row for an unknown state or event.  Raises
     :class:`~repro.common.errors.ProtocolError` on the first defect.
 
-    Runs at import time so a malformed table can never drive a simulation.
+    With ``timing`` (a :class:`~repro.common.config.TimingConfig` or
+    anything attribute-compatible), additionally checks that every bus
+    action the table references has its timing parameters present and
+    non-negative — the error names the (action, parameter) pair.
+
+    Runs at import time (totality only) so a malformed table can never
+    drive a simulation; ``build_dispatch`` re-runs it with the machine's
+    timing config.
     """
+    transitions = tuple(transitions)
     seen: dict[tuple[int, str], Transition] = {}
     for t in transitions:
         if t.state not in STATES:
@@ -172,6 +195,22 @@ def validate_table(transitions: Iterable[Transition] = TRANSITIONS) -> None:
                 raise ProtocolError(
                     f"protocol table not total: missing ({state_name(s)}, {e})"
                 )
+    if timing is not None:
+        referenced = sorted({t.bus_action for t in transitions
+                             if t.bus_action})
+        for action in referenced:
+            for param in ACTION_TIMING_PARAMS.get(action, ()):
+                value = getattr(timing, param, None)
+                if value is None:
+                    raise ProtocolError(
+                        f"action {action!r}: timing parameter {param} is "
+                        f"missing from {type(timing).__name__}"
+                    )
+                if value < 0:
+                    raise ProtocolError(
+                        f"action {action!r}: timing parameter {param} is "
+                        f"negative ({value})"
+                    )
 
 
 def format_table() -> str:

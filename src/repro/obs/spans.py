@@ -151,6 +151,39 @@ class SpanBuilder:
         return "\n".join(out)
 
 
+class SpanTreeAssembler:
+    """Regroup a flat span-event stream back into (root, children) trees.
+
+    :meth:`SpanBuilder.end` emits each access's root (parent_id 0)
+    immediately followed by its children, and the machine's access entry
+    points are strictly sequential — so a new root closes the previous
+    tree.  Consumers that need whole trees (the bounds certifier, tree
+    renderers) feed span events to :meth:`add` and get one callback per
+    completed access; call :meth:`flush` after the run to deliver the
+    trailing tree.
+    """
+
+    __slots__ = ("_on_tree", "_root", "_children")
+
+    def __init__(self, on_tree) -> None:
+        self._on_tree = on_tree
+        self._root: Optional[SpanEvent] = None
+        self._children: list[SpanEvent] = []
+
+    def add(self, ev: SpanEvent) -> None:
+        if ev.parent_id == 0:
+            self.flush()
+            self._root = ev
+        elif self._root is not None and ev.trace_id == self._root.trace_id:
+            self._children.append(ev)
+
+    def flush(self) -> None:
+        if self._root is not None:
+            self._on_tree(self._root, self._children)
+            self._root = None
+            self._children = []
+
+
 # ----------------------------------------------------------------------
 # attribution aggregator
 # ----------------------------------------------------------------------

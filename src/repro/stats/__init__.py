@@ -7,12 +7,12 @@ from repro.stats.metrics import (
     traffic_by_class,
     time_breakdown_figure5,
 )
+from repro.obs.timeline import CompositeProfiler
 from repro.stats.profiler import SharingProfiler, format_profile
-from repro.stats.timeline import (
-    CompositeProfiler,
-    TrafficTimeline,
-    format_timeline,
-)
+
+# repro.stats.timeline is deprecated (import it to get the legacy
+# TrafficTimeline, with a DeprecationWarning); the canonical timeline
+# home is repro.obs.timeline.
 
 __all__ = [
     "Counters",
@@ -23,6 +23,4 @@ __all__ = [
     "SharingProfiler",
     "format_profile",
     "CompositeProfiler",
-    "TrafficTimeline",
-    "format_timeline",
 ]

@@ -29,6 +29,13 @@ from repro.obs.timeline import CompositeProfiler, traffic_by_class
 if TYPE_CHECKING:  # pragma: no cover
     from repro.coma.machine import ComaMachine
 
+warnings.warn(
+    "repro.stats.timeline is deprecated; use repro.obs.timeline "
+    "(TimelineSampler, CompositeProfiler) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 __all__ = [
     "CompositeProfiler",
     "TrafficSample",

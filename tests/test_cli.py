@@ -225,3 +225,74 @@ class TestTraceCommands:
                    "--line", "0xffffff"])
         assert rc == 0
         assert "no trace events" in capsys.readouterr().out
+
+
+class TestBoundsCommand:
+    def test_table_renders(self, capsys):
+        rc = main(["bounds", "synth_private", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "remote" in out and "unbounded" in out
+
+    def test_check_passes_clean(self, capsys):
+        rc = main(["bounds", "synth_migratory", "--scale", "0.1",
+                   "--check"])
+        assert rc == 0
+        assert "bounds OK" in capsys.readouterr().out
+
+    def test_check_numa_flavour(self, capsys):
+        rc = main(["bounds", "synth_migratory", "--machine", "numa",
+                   "--scale", "0.1", "--check"])
+        assert rc == 0
+        assert "machine=numa" in capsys.readouterr().out
+
+    def test_json_report_with_certification(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bounds.json"
+        rc = main(["bounds", "synth_private", "--scale", "0.1", "--check",
+                   "--format", "json", "--out", str(out_path)])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["provenance"]["tool"] == "coma-sim bounds"
+        assert payload["bounds"]
+        assert payload["certification"]["violations"] == {
+            "B101": 0, "B102": 0, "B103": 0}
+
+
+class TestCoverageCommand:
+    def test_table_with_micro(self, capsys):
+        rc = main(["coverage", "--workloads", "synth_migratory",
+                   "--scale", "0.05", "--micro"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S:remote_read" in out and "GAP" in out
+
+    def test_min_pct_gate_fails(self, capsys):
+        rc = main(["coverage", "--workloads", "synth_private",
+                   "--memory-pressure", "0.5", "--scale", "0.05",
+                   "--min-pct", "99"])
+        assert rc == 1
+        assert "coverage FAILED" in capsys.readouterr().err
+
+    def test_json_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "coverage.json"
+        rc = main(["coverage", "--workloads", "synth_migratory",
+                   "--scale", "0.05", "--micro", "--format", "json",
+                   "--out", str(out_path), "--min-pct", "80"])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["provenance"]["tool"] == "coma-sim coverage"
+        assert payload["dead"] == []
+        assert "S:remote_read" in [g["cell"] for g in payload["gaps"]]
+        assert payload["total_pct"] >= 80
+
+
+class TestAttributeBounds:
+    def test_attribute_reports_bounds_section(self, capsys):
+        rc = main(["attribute", "synth_private", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static bounds:" in out and "B101=0" in out

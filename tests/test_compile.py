@@ -325,3 +325,62 @@ class TestVerifyCli:
         out = capsys.readouterr().out
         assert "certification OK" in out
         assert "compiled dispatch == source table" in out
+
+
+class TestHcomaCertification:
+    """Satellite coverage: the hierarchical flavour's dispatch artifact
+    gets the same decompile round-trip and C101–C104 treatment the flat
+    machine does (PR 6 only spot-checked it)."""
+
+    @staticmethod
+    def _hcoma_sim():
+        from repro.experiments.runner import RunSpec, build_simulation
+
+        return build_simulation(
+            RunSpec(workload="synth_migratory", machine="hcoma", scale=0.1))
+
+    def test_hcoma_dispatch_decompiles_to_source_table(self):
+        sim = self._hcoma_sim()
+        assert transitions_equal(
+            decompile(sim.machine.dispatch.protocol), TRANSITIONS)
+
+    def test_hcoma_dispatch_certifies_clean(self):
+        sim = self._hcoma_sim()
+        report = certify_dispatch(sim.machine.dispatch, sim.machine.config,
+                                  path="dispatch:hcoma")
+        assert report.ok, format_certification(report)
+
+    def test_hcoma_c101_mutated_timing(self):
+        sim = self._hcoma_sim()
+        d = sim.machine.dispatch
+        d.timing.bus_phase += 1
+        report = certify_dispatch(d, sim.machine.config)
+        assert "C101" in rules(report)
+        assert any("bus_phase" in f.message for f in report.findings)
+
+    def test_hcoma_c102_next_state_divergence(self):
+        sim = self._hcoma_sim()
+        d = sim.machine.dispatch
+        base = (EXCLUSIVE * N_EVENTS + EV_REMOTE_READ) * 2
+        d.protocol.next_state[base] = EXCLUSIVE  # must degrade E -> O
+        report = certify_dispatch(d, sim.machine.config)
+        assert "C102" in rules(report)
+        assert any("(E, remote_read)" in f.message for f in report.findings)
+
+    def test_hcoma_c103_action_divergence(self):
+        sim = self._hcoma_sim()
+        d = sim.machine.dispatch
+        d.protocol.action[SHARED * N_EVENTS + EV_LOCAL_WRITE] = ACT_READ
+        report = certify_dispatch(d, sim.machine.config)
+        assert "C103" in rules(report)
+
+    def test_hcoma_c104_bisimulation_counterexample(self):
+        sim = self._hcoma_sim()
+        d = sim.machine.dispatch
+        base = (EXCLUSIVE * N_EVENTS + EV_REMOTE_READ) * 2
+        d.protocol.next_state[base] = EXCLUSIVE
+        d.protocol.next_state[base + 1] = EXCLUSIVE
+        report = certify_dispatch(d, sim.machine.config)
+        assert "C104" in rules(report)
+        assert any("counterexample trace" in f.detail
+                   for f in report.findings)

@@ -220,6 +220,8 @@ class TestAttachPath:
 
     @pytest.mark.filterwarnings(
         "ignore:TrafficTimeline is deprecated:DeprecationWarning")
+    @pytest.mark.filterwarnings(
+        "ignore:repro.stats.timeline is deprecated:DeprecationWarning")
     def test_attach_second_profiler_composes(self):
         from repro.stats.profiler import SharingProfiler
         from repro.stats.timeline import CompositeProfiler, TrafficTimeline

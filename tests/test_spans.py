@@ -341,6 +341,8 @@ class TestFlightDumpSpanStack:
         assert b.open_stack_text() == ""
 
 
+@pytest.mark.filterwarnings(
+    "ignore:repro.stats.timeline is deprecated:DeprecationWarning")
 class TestLegacyTimelineDeprecation:
     def test_traffic_timeline_warns_and_still_works(self):
         from repro.stats.timeline import TrafficTimeline

@@ -2,23 +2,71 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.experiments.runner import RunSpec, build_simulation
 from repro.stats.profiler import SharingProfiler
-from repro.stats.timeline import (
-    CompositeProfiler,
-    TrafficSample,
-    TrafficTimeline,
-    TrafficWindow,
-    format_timeline,
-)
 
-# The class under test is deprecated (TimelineSampler supersedes it);
-# these tests pin its continued behaviour, so the warning is expected.
+# The module under test is deprecated (repro.obs.timeline supersedes
+# it); these tests pin its continued behaviour, so both the import-time
+# and the constructor warnings are expected.
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.stats.timeline import (
+        CompositeProfiler,
+        TrafficSample,
+        TrafficTimeline,
+        TrafficWindow,
+        format_timeline,
+    )
+
 pytestmark = pytest.mark.filterwarnings(
     "ignore:TrafficTimeline is deprecated:DeprecationWarning"
 )
+
+
+class TestModuleDeprecation:
+    def test_import_emits_exactly_one_deprecation_warning(self):
+        """A fresh import of repro.stats.timeline warns exactly once,
+        pointing at the canonical repro.obs.timeline home."""
+        import importlib
+        import sys
+
+        saved = sys.modules.pop("repro.stats.timeline", None)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                importlib.import_module("repro.stats.timeline")
+            dep = [w for w in caught
+                   if issubclass(w.category, DeprecationWarning)]
+            assert len(dep) == 1
+            assert "repro.obs.timeline" in str(dep[0].message)
+        finally:
+            if saved is not None:
+                sys.modules["repro.stats.timeline"] = saved
+
+    def test_package_import_does_not_warn(self):
+        """repro.stats itself no longer re-exports the deprecated
+        module, so importing the package stays silent."""
+        import importlib
+        import sys
+
+        saved = {name: sys.modules.pop(name, None)
+                 for name in ("repro.stats", "repro.stats.timeline")}
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                importlib.import_module("repro.stats")
+            dep = [w for w in caught
+                   if issubclass(w.category, DeprecationWarning)]
+            assert dep == []
+            assert not hasattr(sys.modules["repro.stats"], "TrafficTimeline")
+        finally:
+            for name, mod in saved.items():
+                if mod is not None:
+                    sys.modules[name] = mod
 
 
 class TestWindows:

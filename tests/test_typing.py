@@ -1,0 +1,36 @@
+"""Strict static typing over the new analysis modules.
+
+CI installs mypy and runs the same invocation as a dedicated step; this
+test keeps the gate reproducible locally when mypy is available and
+skips cleanly where it is not (the simulation container ships without
+it).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The modules held to --strict (new in the bounds/coverage PR; the
+#: legacy analysis passes predate the gate and are typed best-effort).
+STRICT_MODULES = [
+    "src/repro/analysis/bounds.py",
+    "src/repro/analysis/coverage.py",
+    "src/repro/analysis/report.py",
+]
+
+
+def test_mypy_strict_on_new_analysis_modules():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict",
+         "--follow-imports=silent", *STRICT_MODULES],
+        cwd=REPO, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
