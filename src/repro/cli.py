@@ -747,6 +747,57 @@ def _with_provenance(out: str, fmt: str) -> str:
     return provenance_header(timestamp=ts) + out
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.app import ServeConfig, format_listen_line, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sweep_jobs=args.sweep_jobs,
+        max_inflight=args.max_inflight,
+        rate=args.rate,
+        burst=args.burst,
+        max_sweep_points=args.max_sweep_points,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def ready(service) -> None:
+        print(format_listen_line(service), file=sys.stderr, flush=True)
+
+    try:
+        return asyncio.run(serve_forever(config, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadtest import format_report, run_loadtest
+
+    report = asyncio.run(run_loadtest(
+        args.host, args.port,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed0=args.seed0,
+    ))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"loadtest: {args.out}")
+    print(format_report(report))
+    if not report["ok"]:
+        print("loadtest: coalesced mix ran more than one simulation",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="coma-sim",
@@ -1012,6 +1063,49 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--slowest", type=int, default=0, metavar="N",
                     help="narrate the N slowest accesses as full span trees")
     ex.set_defaults(func=_cmd_explain)
+
+    sv = sub.add_parser(
+        "serve",
+        help="HTTP simulation service: RunSpec/sweep requests with "
+        "single-flight dedup, bounded queues and SSE progress",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8787,
+                    help="listen port (0 picks an ephemeral port)")
+    sv.add_argument("--workers", type=int, default=4,
+                    help="executor threads running request bodies")
+    sv.add_argument("--sweep-jobs", type=int, default=1, metavar="N",
+                    help="process-pool jobs available to each sweep")
+    sv.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                    help="bounded per-tenant queue; above it requests "
+                    "get 429 + Retry-After")
+    sv.add_argument("--rate", type=float, default=50.0, metavar="R",
+                    help="token-bucket refill, requests/second per tenant")
+    sv.add_argument("--burst", type=float, default=100.0, metavar="B",
+                    help="token-bucket capacity per tenant")
+    sv.add_argument("--max-sweep-points", type=int, default=256, metavar="N",
+                    help="largest accepted sweep request")
+    sv.add_argument("--drain-timeout", type=float, default=10.0, metavar="S",
+                    help="seconds to wait for in-flight work on shutdown")
+    sv.set_defaults(func=_cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="measure serve latency: cold, warm-cache and coalesced "
+        "request mixes against a running server",
+    )
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=int, default=8787)
+    lt.add_argument("--requests", type=int, default=20, metavar="N",
+                    help="requests per scenario")
+    lt.add_argument("--concurrency", type=int, default=8, metavar="N",
+                    help="concurrent connections for the cold/warm mixes")
+    lt.add_argument("--seed0", type=int, default=990_000, metavar="SEED",
+                    help="first seed; each scenario uses fresh seeds "
+                    "counting up from here")
+    lt.add_argument("--out", metavar="PATH",
+                    help="also write the full JSON report here")
+    lt.set_defaults(func=_cmd_loadtest)
     return p
 
 

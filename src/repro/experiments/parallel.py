@@ -81,10 +81,16 @@ def _fmt_seconds(s: float) -> str:
 class SweepProgress:
     """Single-line live progress for a sweep, redrawn on stderr.
 
-    ``update`` rewrites one ``\\r``-terminated line with the completion
-    count, elapsed wall time and an ETA (mean wall time per completed
-    point times the points remaining); ``close`` ends the line with a
-    newline so subsequent output starts clean.
+    Construction draws an initial ``0/N`` line, ``update`` rewrites it
+    with the completion count, elapsed wall time and an ETA (mean wall
+    time per completed point times the points remaining), and ``close``
+    ends the line with a newline so subsequent output starts clean.
+
+    ``close`` is idempotent, swallows stream errors, and emits its
+    terminating newline whenever anything was drawn — including a sweep
+    interrupted before a single point completed — so an exception or
+    ``KeyboardInterrupt`` mid-sweep can never leave a partial
+    ``\\r``-drawn line corrupting subsequent stderr output.
     """
 
     def __init__(self, total: int, label: str = "sweep", stream=None) -> None:
@@ -94,45 +100,63 @@ class SweepProgress:
         self.done = 0
         self._t0 = time.perf_counter()
         self._width = 0
+        self._closed = False
+        self._draw()
 
-    def update(self, n: int = 1) -> None:
-        self.done += n
+    def _draw(self) -> None:
         elapsed = time.perf_counter() - self._t0
-        if 0 < self.done < self.total:
+        if self.done >= self.total:
+            tail = "done"
+        elif self.done:
             eta = elapsed / self.done * (self.total - self.done)
             tail = f"eta {_fmt_seconds(eta)}"
         else:
-            tail = "done"
+            tail = "eta --"
         line = (f"[{self.label}] {self.done}/{self.total} points "
                 f"elapsed {_fmt_seconds(elapsed)} {tail}")
         pad = max(self._width - len(line), 0)
         self._width = len(line)
-        self.stream.write("\r" + line + " " * pad)
-        self.stream.flush()
+        try:
+            self.stream.write("\r" + line + " " * pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            self._closed = True  # dead/closed stream: stop drawing
+
+    def update(self, n: int = 1) -> None:
+        if self._closed:
+            return
+        self.done += n
+        self._draw()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._width:
-            self.stream.write("\n")
-            self.stream.flush()
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
 
 
 def _run_one(task: tuple) -> tuple:
     """Worker body: run one spec, report the result and the stats delta.
 
-    Runs in the pool worker process; the delta (stats after minus stats
-    before) isolates this task's hits/misses even though the worker's
-    process-global tally accumulates across the tasks it serves.  The
-    task's wall time rides back too, so the parent can feed an attached
-    metrics registry (workers can't share one across processes).
+    Runs in the pool worker process.  The task's hits/misses are
+    isolated with an explicit per-call :class:`~repro.experiments.runner.
+    CacheTally` rather than before/after snapshots of the process-global
+    tally — snapshots interleave and double-count the moment anything
+    else in the process records an outcome concurrently.  The task's
+    wall time rides back too, so the parent can feed an attached metrics
+    registry (workers can't share one across processes).
     """
     index, spec, use_cache = task
-    before = runner.cache_stats()
     t0 = time.perf_counter()
-    result = runner.run_spec(spec, use_cache=use_cache)
+    with runner.tally_cache_stats() as tally:
+        result = runner.run_spec(spec, use_cache=use_cache)
     wall_s = time.perf_counter() - t0
-    after = runner.cache_stats()
-    delta = {k: after[k] - before[k] for k in after}
-    return index, result.to_dict(), delta, wall_s
+    return index, result.to_dict(), tally.as_dict(), wall_s
 
 
 def run_specs(
@@ -142,6 +166,7 @@ def run_specs(
     on_result: Optional[OnResult] = None,
     progress: Optional[bool] = None,
     progress_label: str = "sweep",
+    stats: Optional[runner.CacheTally] = None,
 ) -> list[SimulationResult]:
     """Run a sweep of specs, optionally over a process pool.
 
@@ -152,6 +177,12 @@ def run_specs(
     count/elapsed/ETA line on stderr as points complete; the default
     (``None``) turns it on exactly when stderr is a terminal, so
     redirected/captured runs stay clean.
+
+    ``stats`` — an optional :class:`~repro.experiments.runner.CacheTally`
+    receiving *this sweep's* hit/miss outcomes in isolation.  The
+    process-wide tally read by ``format_cache_summary()`` still
+    accumulates as before, but it interleaves when sweeps overlap in one
+    process; a per-sweep tally stays truthful under concurrency.
     """
     specs = list(specs)
     n_jobs = resolve_jobs(jobs)
@@ -160,6 +191,21 @@ def run_specs(
             progress = sys.stderr.isatty()
         except (AttributeError, ValueError):
             progress = False
+    with runner.tally_cache_stats(stats):
+        return _run_specs_tallied(
+            specs, n_jobs, use_cache, on_result,
+            bool(progress), progress_label,
+        )
+
+
+def _run_specs_tallied(
+    specs: list[RunSpec],
+    n_jobs: int,
+    use_cache: bool,
+    on_result: Optional[OnResult],
+    progress: bool,
+    progress_label: str,
+) -> list[SimulationResult]:
     bar = SweepProgress(len(specs), progress_label) if progress and specs else None
     try:
         if n_jobs <= 1 or len(specs) <= 1:

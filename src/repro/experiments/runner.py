@@ -25,6 +25,8 @@ hits/misses are tallied in :func:`cache_stats` and summarized by
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import hashlib
 import json
 import os
@@ -34,7 +36,7 @@ from dataclasses import asdict, dataclass, replace
 from datetime import datetime, timezone
 from fractions import Fraction
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.obs.manifest import RunManifest, git_revision, manifest_path
 
@@ -55,6 +57,72 @@ _memory_cache: dict[str, SimulationResult] = {}
 
 #: Process-wide tally of how run_spec() satisfied each request.
 _cache_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+_STAT_KINDS = ("memory_hits", "disk_hits", "misses")
+
+
+class CacheTally:
+    """An isolated hit/miss tally for one sweep (or one service request).
+
+    The module-global tally above interleaves when two in-process sweeps
+    overlap (exactly what the serve layer does), so callers that need a
+    truthful per-sweep summary register a tally via
+    :func:`tally_cache_stats` (or ``run_specs(stats=...)``) and read it
+    instead of diffing before/after snapshots of the global.
+    """
+
+    __slots__ = ("memory_hits", "disk_hits", "misses")
+
+    def __init__(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def bump(self, kind: str, n: int = 1) -> None:
+        setattr(self, kind, getattr(self, kind) + n)
+
+    def merge(self, delta: dict) -> None:
+        for kind in _STAT_KINDS:
+            self.bump(kind, int(delta.get(kind, 0)))
+
+    def as_dict(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in _STAT_KINDS}
+
+    @property
+    def total(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+
+#: Tallies the current thread/task has registered (innermost last).
+#: A ContextVar keeps concurrent sweeps isolated whether they run in
+#: separate threads or separate asyncio tasks.
+_active_tallies: contextvars.ContextVar[tuple[CacheTally, ...]] = (
+    contextvars.ContextVar("repro_cache_tallies", default=())
+)
+
+
+@contextlib.contextmanager
+def tally_cache_stats(tally: Optional[CacheTally] = None) -> Iterator[CacheTally]:
+    """Record this context's cache outcomes into an isolated tally.
+
+    The process-wide tally keeps accumulating as before (the serial
+    single-sweep path is byte-identical); the yielded tally additionally
+    receives every outcome recorded by this thread/task while the
+    context is open, uncontaminated by concurrent sweeps.
+    """
+    if tally is None:
+        tally = CacheTally()
+    token = _active_tallies.set(_active_tallies.get() + (tally,))
+    try:
+        yield tally
+    finally:
+        _active_tallies.reset(token)
+
+
+def _bump_stat(kind: str, n: int = 1) -> None:
+    _cache_stats[kind] += n
+    for tally in _active_tallies.get():
+        tally.bump(kind, n)
 
 
 #: Optional :class:`repro.obs.metrics.ExperimentInstruments`; set by
@@ -93,11 +161,12 @@ def merge_cache_stats(delta: dict) -> None:
     """Fold another process's hit/miss tally into this one.
 
     The parallel sweep engine collects each worker's per-task stats delta
-    and merges it here, so :func:`format_cache_summary` stays truthful
-    when a sweep fans out over a process pool.
+    and merges it here (and into any tallies registered by the calling
+    context), so :func:`format_cache_summary` stays truthful when a
+    sweep fans out over a process pool.
     """
     for k in _cache_stats:
-        _cache_stats[k] += int(delta.get(k, 0))
+        _bump_stat(k, int(delta.get(k, 0)))
 
 
 def memoize_result(key: str, result: SimulationResult) -> None:
@@ -106,9 +175,13 @@ def memoize_result(key: str, result: SimulationResult) -> None:
     _memory_cache[key] = result
 
 
-def format_cache_summary() -> str:
-    """One-line human summary, printed after figure/table sweeps."""
-    s = _cache_stats
+def format_cache_summary(stats: Optional[CacheTally] = None) -> str:
+    """One-line human summary, printed after figure/table sweeps.
+
+    With ``stats`` (a :class:`CacheTally`), summarizes that sweep alone;
+    without it, the process-wide tally (the historical behavior).
+    """
+    s = _cache_stats if stats is None else stats.as_dict()
     total = s["memory_hits"] + s["disk_hits"] + s["misses"]
     return (
         f"cache: {total} runs — {s['memory_hits']} memory hits, "
@@ -223,37 +296,44 @@ def build_simulation(spec: RunSpec) -> Simulation:
 # caching
 # ----------------------------------------------------------------------
 
-#: Resolved cache directories, keyed by the env-var pair that produced
-#: them, so run_spec() doesn't re-run mkdir on every call and an
-#: unusable directory warns once instead of silently degrading forever.
-_cache_dir_memo: dict[tuple[str, str], Optional[Path]] = {}
+#: Resolved cache directories, keyed by the env value that produced
+#: them, so run_spec() doesn't re-run mkdir on every call.  The root is
+#: made absolute at first use — a later ``os.chdir`` must not silently
+#: move a relative cache dir mid-process — and only *successful*
+#: resolutions are memoized: a transient ``mkdir`` failure warns once
+#: but is retried on the next call, so one ``OSError`` never disables
+#: the disk cache for the lifetime of a long-running server.
+_cache_dir_memo: dict[str, Path] = {}
+_cache_dir_warned: set[str] = set()
 
 
 def reset_cache_dir_memo() -> None:
     """Forget resolved cache directories (tests relocate them a lot)."""
     _cache_dir_memo.clear()
+    _cache_dir_warned.clear()
 
 
 def _cache_dir() -> Optional[Path]:
-    no_disk = os.environ.get("REPRO_NO_DISK_CACHE", "")
+    if os.environ.get("REPRO_NO_DISK_CACHE", ""):
+        return None
     root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    memo_key = (no_disk, root)
-    if memo_key in _cache_dir_memo:
-        return _cache_dir_memo[memo_key]
-    path: Optional[Path] = None
-    if not no_disk:
-        path = Path(root)
-        try:
-            path.mkdir(parents=True, exist_ok=True)
-        except OSError as exc:
+    memoized = _cache_dir_memo.get(root)
+    if memoized is not None:
+        return memoized
+    path = Path(root).absolute()
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        if root not in _cache_dir_warned:
+            _cache_dir_warned.add(root)
             warnings.warn(
-                f"disk cache disabled: cannot create {path} ({exc}); "
-                "results of this sweep will not be cached on disk",
+                f"disk cache unavailable: cannot create {path} ({exc}); "
+                "this run will not be cached on disk (will retry)",
                 RuntimeWarning,
                 stacklevel=3,
             )
-            path = None
-    _cache_dir_memo[memo_key] = path
+        return None
+    _cache_dir_memo[root] = path
     return path
 
 
@@ -366,7 +446,7 @@ def load_manifest(spec_or_key) -> Optional[RunManifest]:
 def _disk_hit(cache_dir: Path, key: str, spec: RunSpec,
               result: SimulationResult) -> SimulationResult:
     _memory_cache[key] = result
-    _cache_stats["disk_hits"] += 1
+    _bump_stat("disk_hits")
     if _metrics is not None:
         _metrics.cache_requests.labels("disk_hit").inc()
     if not manifest_path(cache_dir, key).exists():
@@ -379,7 +459,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
     """Run ``spec``, consulting the memory and disk caches."""
     key = spec.key()
     if use_cache and key in _memory_cache:
-        _cache_stats["memory_hits"] += 1
+        _bump_stat("memory_hits")
         if _metrics is not None:
             _metrics.cache_requests.labels("memory_hit").inc()
         return _memory_cache[key]
@@ -394,7 +474,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         result = _read_disk(cache_dir, key)
         if result is not None:
             return _disk_hit(cache_dir, key, spec, result)
-    _cache_stats["misses"] += 1
+    _bump_stat("misses")
     t0 = time.perf_counter()
     sim = build_simulation(spec)
     result = sim.run()

@@ -1,0 +1,39 @@
+"""``repro.serve``: the async simulation service (``coma-sim serve``).
+
+Layers, bottom-up:
+
+* :mod:`repro.serve.http` — minimal asyncio HTTP/1.1 transport + SSE.
+* :mod:`repro.serve.admission` — bounded per-tenant queues, token-bucket
+  rate limiting (429 + ``Retry-After``).
+* :mod:`repro.serve.singleflight` — concurrent identical requests
+  coalesce onto one simulation keyed on ``RunSpec.key()``.
+* :mod:`repro.serve.instruments` — ``serve_*`` metric families.
+* :mod:`repro.serve.app` — :class:`ComaService` wiring it all together.
+* :mod:`repro.serve.loadtest` — bundled async load-test client.
+"""
+
+from repro.serve.admission import Admission, AdmissionController, TokenBucket
+from repro.serve.app import ComaService, ServeConfig, parse_spec, serve_forever
+from repro.serve.http import HttpError, Request, SseWriter, parse_sse
+from repro.serve.instruments import ServiceInstruments
+from repro.serve.loadtest import http_request, run_loadtest, wait_healthy
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "ComaService",
+    "HttpError",
+    "Request",
+    "ServeConfig",
+    "ServiceInstruments",
+    "SingleFlight",
+    "SseWriter",
+    "TokenBucket",
+    "http_request",
+    "parse_spec",
+    "parse_sse",
+    "run_loadtest",
+    "serve_forever",
+    "wait_healthy",
+]

@@ -1,0 +1,233 @@
+"""Bundled async load-test client for ``coma-sim serve``.
+
+Measures the three request mixes that characterize the service
+(``coma-sim loadtest``; numbers published in docs/PERFORMANCE.md):
+
+* **cold** — every request is a distinct never-seen spec, so each one
+  pays full simulation cost.  Dominated by the simulator, bounded by
+  the worker-thread count.
+* **warm** — one spec, primed once, then hammered: the in-process
+  memory cache answers, so this is the service-overhead floor.
+* **coalesced** — N concurrent *identical* requests for a fresh spec.
+  Single-flight dedup means exactly one simulation runs; the client
+  verifies that claim from ``/metrics`` (``serve_dedup`` and the
+  experiment cache counters), not just from response flags.
+
+Stdlib-only by construction (the container has no aiohttp/httpx): raw
+``asyncio.open_connection`` with ``Connection: close`` per request,
+matching the transport subset the server speaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Optional
+
+from repro.obs.openmetrics import parse_openmetrics
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    payload: Optional[object] = None,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> tuple[int, dict[str, str], bytes]:
+    """One request over a fresh connection; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode()
+        lines = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    resp_headers: dict[str, str] = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        resp_headers[name.strip().lower()] = value.strip()
+    return status, resp_headers, rest
+
+
+async def wait_healthy(host: str, port: int, timeout: float = 10.0) -> None:
+    """Poll /healthz until the server answers 200 (startup barrier)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            status, _, _ = await http_request(host, port, "GET", "/healthz")
+            if status == 200:
+                return
+        except (ConnectionError, OSError):
+            pass
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"server at {host}:{port} never became healthy")
+        await asyncio.sleep(0.05)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _summarize(label: str, latencies_ms: list[float]) -> dict:
+    return {
+        "scenario": label,
+        "requests": len(latencies_ms),
+        "p50_ms": round(percentile(latencies_ms, 0.50), 3),
+        "p99_ms": round(percentile(latencies_ms, 0.99), 3),
+        "max_ms": round(max(latencies_ms), 3),
+    }
+
+
+async def _timed_run(
+    host: str, port: int, spec: dict,
+) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    status, _, body = await http_request(host, port, "POST", "/run", spec)
+    elapsed_ms = (time.perf_counter() - t0) * 1e3
+    if status != 200:
+        raise RuntimeError(f"/run returned {status}: {body[:200]!r}")
+    return elapsed_ms, json.loads(body)
+
+
+async def scrape_counters(host: str, port: int) -> dict[str, float]:
+    """Flatten /metrics into ``{family{label=value}: total}`` sums."""
+    status, _, body = await http_request(host, port, "GET", "/metrics")
+    if status != 200:
+        raise RuntimeError(f"/metrics returned {status}")
+    families = parse_openmetrics(body.decode())
+    flat: dict[str, float] = {}
+    for family, info in families.items():
+        for sample_name, pairs in info["samples"].items():
+            for labels, value in pairs:
+                tag = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                flat[f"{sample_name}{{{tag}}}"] = value
+    return flat
+
+
+def _counter(flat: dict[str, float], name: str, **labels: str) -> float:
+    tag = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return flat.get(f"{name}_total{{{tag}}}", 0.0)
+
+
+async def run_loadtest(
+    host: str,
+    port: int,
+    requests: int = 20,
+    concurrency: int = 8,
+    base_spec: Optional[dict] = None,
+    seed0: int = 990_000,
+) -> dict:
+    """Run the cold/warm/coalesced mixes against a live server.
+
+    Seeds count up from ``seed0`` so repeated invocations against one
+    server keep producing never-cached (cold) specs — pick a fresh
+    ``seed0`` if you rerun against a long-lived instance.
+    """
+    spec = dict(base_spec or {"workload": "fft", "n_processors": 4,
+                              "scale": 0.25})
+    await wait_healthy(host, port)
+    report: dict = {"config": {"requests": requests,
+                               "concurrency": concurrency, "spec": spec}}
+    scenarios = []
+
+    # -- cold: distinct specs, bounded concurrency ----------------------
+    gate = asyncio.Semaphore(concurrency)
+
+    async def one_cold(i: int) -> float:
+        async with gate:
+            elapsed_ms, _ = await _timed_run(
+                host, port, {**spec, "seed": seed0 + i})
+            return elapsed_ms
+
+    cold = await asyncio.gather(*(one_cold(i) for i in range(requests)))
+    scenarios.append(_summarize("cold", list(cold)))
+
+    # -- warm: one primed spec, repeated --------------------------------
+    warm_spec = {**spec, "seed": seed0 + requests}
+    await _timed_run(host, port, warm_spec)  # prime
+
+    async def one_warm() -> float:
+        async with gate:
+            elapsed_ms, body = await _timed_run(host, port, warm_spec)
+            if body["cache"] == "miss":
+                raise RuntimeError("warm request missed the cache")
+            return elapsed_ms
+
+    warm = await asyncio.gather(*(one_warm() for _ in range(requests)))
+    scenarios.append(_summarize("warm", list(warm)))
+
+    # -- coalesced: N concurrent identical requests, fresh spec ---------
+    before = await scrape_counters(host, port)
+    hot_spec = {**spec, "seed": seed0 + requests + 1}
+    timed = await asyncio.gather(
+        *(_timed_run(host, port, hot_spec) for _ in range(requests)))
+    after = await scrape_counters(host, port)
+    coalesced_flags = sum(1 for _, body in timed if body["coalesced"])
+    co_summary = _summarize("coalesced", [ms for ms, _ in timed])
+    co_summary["coalesced_responses"] = coalesced_flags
+    dedup_delta = (_counter(after, "serve_dedup", outcome="coalesced")
+                   - _counter(before, "serve_dedup", outcome="coalesced"))
+    miss_delta = (
+        _counter(after, "experiments_cache_requests", outcome="miss")
+        - _counter(before, "experiments_cache_requests", outcome="miss"))
+    co_summary["metrics"] = {
+        "serve_dedup_coalesced_delta": dedup_delta,
+        "cache_miss_delta": miss_delta,
+        # The claim under test: N identical concurrent requests cost
+        # exactly one simulation.  Some requests may arrive after the
+        # leader finished (memory hits) — those neither coalesce nor
+        # miss, so the invariant is miss==1, coalesced+hits==N-1.
+        "single_simulation": miss_delta == 1.0,
+    }
+    scenarios.append(co_summary)
+
+    report["scenarios"] = scenarios
+    report["ok"] = bool(co_summary["metrics"]["single_simulation"])
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = ["scenario    requests   p50 ms    p99 ms    max ms"]
+    for s in report["scenarios"]:
+        lines.append(
+            f"{s['scenario']:<11} {s['requests']:>8} {s['p50_ms']:>9.3f} "
+            f"{s['p99_ms']:>9.3f} {s['max_ms']:>9.3f}")
+    co = report["scenarios"][-1]["metrics"]
+    lines.append(
+        f"coalesced mix: cache_miss_delta={co['cache_miss_delta']:.0f} "
+        f"(single_simulation={co['single_simulation']})")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_report",
+    "http_request",
+    "percentile",
+    "run_loadtest",
+    "scrape_counters",
+    "wait_healthy",
+]

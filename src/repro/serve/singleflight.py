@@ -1,0 +1,70 @@
+"""Single-flight request coalescing keyed on ``RunSpec.key()``.
+
+When N identical requests are in flight at once, exactly one of them —
+the *leader* — performs the simulation; the rest await the leader's
+future and receive the same result.  This is correct because the result
+of a ``RunSpec`` is a pure function of its key (the disk cache under
+:mod:`repro.experiments.runner` relies on the same property, and its
+multi-writer-safe publication means even leaders in *different server
+processes* racing on one key converge on one cache entry).
+
+Failure semantics: a failed leader propagates its exception to every
+waiter, and the key is removed *before* the exception is set — a failed
+flight never poisons the key, so the next request for it starts a fresh
+flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with one key into one execution."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def run(
+        self, key: str, work: Callable[[], Awaitable[T]]
+    ) -> tuple[T, bool]:
+        """Run ``work`` (or coalesce onto the flight already running it).
+
+        Returns ``(result, coalesced)`` where ``coalesced`` is True for
+        waiters that piggybacked on another request's flight.  Waiters
+        are shielded from each other: one waiter's cancellation (a
+        dropped client connection) cannot cancel the shared flight.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            return await asyncio.shield(existing), True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await work()
+        except BaseException as exc:
+            # Unlink first: a failed flight must not poison the key.
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved so a flight nobody coalesced onto does
+                # not log "exception was never retrieved" at GC time.
+                future.exception()
+            raise
+        self._inflight.pop(key, None)
+        if not future.done():
+            future.set_result(result)
+        return result, False

@@ -283,11 +283,11 @@ class TestCacheDirMemoization:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
         monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
         reset_cache_dir_memo()
-        with pytest.warns(RuntimeWarning, match="disk cache disabled"):
+        with pytest.warns(RuntimeWarning, match="disk cache unavailable"):
             assert runner._cache_dir() is None
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert runner._cache_dir() is None  # memoized: no second warning
+            assert runner._cache_dir() is None  # warned set: no second warning
         reset_cache_dir_memo()
 
     def test_mkdir_runs_once_per_path(self, tmp_path, monkeypatch):
@@ -307,3 +307,186 @@ class TestCacheDirMemoization:
         assert first == second == tmp_path / "c"
         assert len(calls) == 1
         reset_cache_dir_memo()
+
+    def test_relative_dir_resolved_before_cwd_change(self, tmp_path, monkeypatch):
+        """A relative REPRO_CACHE_DIR is pinned to an absolute path at
+        first use, so a later chdir cannot silently move the cache."""
+        home = tmp_path / "home"
+        elsewhere = tmp_path / "elsewhere"
+        home.mkdir()
+        elsewhere.mkdir()
+        monkeypatch.setenv("REPRO_CACHE_DIR", "relcache")
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        monkeypatch.chdir(home)
+        reset_cache_dir_memo()
+        first = runner._cache_dir()
+        assert first == home / "relcache" and first.is_absolute()
+        monkeypatch.chdir(elsewhere)
+        assert runner._cache_dir() == home / "relcache"
+        clear_memory_cache()
+        run_spec(SPEC)
+        assert (home / "relcache" / f"{SPEC.key()}.json").exists()
+        assert not (elsewhere / "relcache").exists()
+        reset_cache_dir_memo()
+
+    def test_transient_mkdir_failure_is_retried(self, tmp_path, monkeypatch):
+        """One OSError must not negative-cache None for the process
+        lifetime: the next call retries and recovers the disk cache."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "flaky"))
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+        reset_cache_dir_memo()
+        original = Path.mkdir
+        fail = {"n": 1}
+
+        def flaky_mkdir(self, *a, **k):
+            if fail["n"]:
+                fail["n"] -= 1
+                raise OSError("transient")
+            return original(self, *a, **k)
+
+        monkeypatch.setattr(Path, "mkdir", flaky_mkdir)
+        with pytest.warns(RuntimeWarning, match="disk cache unavailable"):
+            assert runner._cache_dir() is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # recovery does not re-warn
+            recovered = runner._cache_dir()
+        assert recovered == tmp_path / "flaky"
+        assert recovered.is_dir()
+        reset_cache_dir_memo()
+
+
+class TestPerSweepStats:
+    def test_tally_matches_global_for_serial_sweep(self, disk_cache):
+        tally = runner.CacheTally()
+        run_specs(FIG2_SLICE + [FIG2_SLICE[0]], jobs=1, stats=tally)
+        assert tally.as_dict() == cache_stats()
+        assert tally.total == len(FIG2_SLICE) + 1
+        assert tally.memory_hits == 1
+
+    def test_tally_matches_global_for_pool_sweep(self, disk_cache):
+        tally = runner.CacheTally()
+        run_specs(FIG2_SLICE + [FIG2_SLICE[0]], jobs=2, stats=tally)
+        assert tally.as_dict() == cache_stats()
+        assert tally.misses == len(FIG2_SLICE) and tally.memory_hits == 1
+
+    def test_overlapping_sweeps_isolate_their_tallies(self, disk_cache):
+        """Two in-process sweeps interleaved on threads each see exactly
+        their own outcomes — the concurrency the serve layer creates."""
+        import threading
+
+        tallies = [runner.CacheTally() for _ in range(2)]
+        barrier = threading.Barrier(2, timeout=60)
+        errors = []
+
+        def sweep(i):
+            try:
+                barrier.wait()
+                run_specs(FIG2_SLICE, jobs=1, stats=tallies[i])
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=sweep, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        for tally in tallies:
+            assert tally.total == len(FIG2_SLICE)
+        # Globally both sweeps were recorded (the historical behavior).
+        assert sum(cache_stats().values()) == 2 * len(FIG2_SLICE)
+
+    def test_nested_tallies_both_receive(self, disk_cache):
+        with runner.tally_cache_stats() as outer:
+            with runner.tally_cache_stats() as inner:
+                run_spec(SPEC)
+            run_spec(SPEC)
+        assert inner.as_dict() == {
+            "memory_hits": 0, "disk_hits": 0, "misses": 1,
+        }
+        assert outer.misses == 1 and outer.memory_hits == 1
+
+    def test_format_cache_summary_accepts_tally(self, disk_cache):
+        tally = runner.CacheTally()
+        run_specs([SPEC, SPEC], jobs=1, stats=tally)
+        line = runner.format_cache_summary(tally)
+        assert "2 runs" in line and "1 simulated" in line
+
+
+class TestSweepProgressLifecycle:
+    class _Stream:
+        def __init__(self):
+            self.chunks = []
+
+        def write(self, s):
+            self.chunks.append(s)
+
+        def flush(self):
+            pass
+
+        @property
+        def text(self):
+            return "".join(self.chunks)
+
+    def test_initial_line_and_terminating_newline(self):
+        from repro.experiments.parallel import SweepProgress
+
+        stream = self._Stream()
+        bar = SweepProgress(3, stream=stream)
+        assert "0/3" in stream.text  # visible before the first point
+        bar.close()
+        assert stream.text.endswith("\n")
+
+    def test_close_idempotent(self):
+        from repro.experiments.parallel import SweepProgress
+
+        stream = self._Stream()
+        bar = SweepProgress(2, stream=stream)
+        bar.update()
+        bar.close()
+        once = stream.text
+        bar.close()
+        assert stream.text == once
+
+    def test_close_survives_dead_stream(self):
+        from repro.experiments.parallel import SweepProgress
+
+        class Dead:
+            def write(self, s):
+                raise ValueError("closed")
+
+            def flush(self):
+                raise ValueError("closed")
+
+        bar = SweepProgress(2, stream=Dead())
+        bar.update()
+        bar.close()  # must not raise
+
+    def test_exception_mid_sweep_terminates_the_line(self, disk_cache,
+                                                     monkeypatch, capsys):
+        """An on_result exception leaves stderr ending in a newline, so
+        later output is not drawn over the partial \\r line."""
+
+        def boom(i, spec, r):
+            raise RuntimeError("mid-sweep failure")
+
+        with pytest.raises(RuntimeError):
+            run_specs(FIG2_SLICE, jobs=1, on_result=boom, progress=True)
+        err = capsys.readouterr().err
+        assert err.endswith("\n")
+        assert "0/3" in err
+
+    def test_zero_points_interrupt_still_newlines(self, disk_cache,
+                                                  monkeypatch, capsys):
+        """KeyboardInterrupt before any point completes: the 0/N line is
+        still terminated on the way out."""
+
+        def interrupted(spec, use_cache=True):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner, "run_spec", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_specs(FIG2_SLICE, jobs=1, progress=True)
+        err = capsys.readouterr().err
+        assert "0/3" in err
+        assert err.endswith("\n")
