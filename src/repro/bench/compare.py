@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Optional
 
 from repro.bench.harness import BENCH_SCHEMA
 
@@ -25,6 +26,9 @@ class BenchFileError(Exception):
 
 
 def load_bench(path) -> dict:
+    """Load a BENCH payload — or the ``baseline`` a ``coma-sim history
+    trend --format json`` report embeds, so the CI gate can compare
+    directly against the rolling median of archived runs."""
     path = Path(path)
     try:
         text = path.read_text()
@@ -34,6 +38,10 @@ def load_bench(path) -> dict:
         payload = json.loads(text)
     except ValueError as exc:
         raise BenchFileError(f"{path} is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict) and "schema" not in payload \
+            and isinstance(payload.get("baseline"), dict) \
+            and "suites" in payload["baseline"]:
+        payload = payload["baseline"]  # a history-trend report
     if not isinstance(payload, dict) or "suites" not in payload:
         raise BenchFileError(f"{path} is not a BENCH file (no 'suites' key)")
     schema = payload.get("schema")
@@ -47,7 +55,25 @@ def load_bench(path) -> dict:
     return payload
 
 
-def compare_benches(old: dict, new: dict, threshold_pct: float = 10.0) -> list[dict]:
+def rolling_baseline(archive, last: int = 5,
+                     quick: Optional[bool] = None) -> Optional[dict]:
+    """A synthetic BENCH payload whose per-suite ``wall_s`` is the
+    rolling median over the last ``last`` archived bench runs.
+
+    This is what ``coma-sim bench --compare`` (bare, no path) gates
+    against: a median of recent archived runs is far less noisy than any
+    single frozen baseline file.  Returns None when the archive holds no
+    (matching) bench rows — callers fall back to the committed
+    ``benchmarks/BENCH_baseline.json``.
+    """
+    trend = archive.trend(last=last, quick=quick)
+    if not trend["benches"]:
+        return None
+    return trend["baseline"]
+
+
+def compare_benches(old: dict, new: dict,
+                    threshold_pct: float = 10.0) -> list[dict]:
     """Per-suite comparison rows, sorted by suite name.
 
     ``change_pct`` is the wall-time change relative to old (positive =

@@ -134,13 +134,26 @@ def run_bench(
     return payload
 
 
-def write_bench(payload: dict, out: Optional[Path] = None) -> Path:
+#: Default directory for ``BENCH_<timestamp>.json`` outputs.  The old
+#: behavior (the current working directory) littered repo roots with
+#: stray BENCH files that only ``.gitignore`` kept out of commits.
+DEFAULT_BENCH_DIR = "benchmarks"
+
+
+def write_bench(payload: dict, out: Optional[Path] = None,
+                out_dir: Optional[Path] = None) -> Path:
     """Write ``payload`` as ``BENCH_<timestamp>.json`` (UTC, second
-    resolution) in the current directory unless ``out`` is given."""
+    resolution) under ``out_dir`` (default ``benchmarks/``).
+
+    An explicit ``out`` path wins over ``out_dir`` and is used verbatim.
+    """
     if out is None:
         stamp = payload["timestamp"].replace(":", "").replace("-", "")
         stamp = stamp.split("+")[0]
-        out = Path(f"BENCH_{stamp}.json")
+        directory = Path(out_dir) if out_dir is not None \
+            else Path(DEFAULT_BENCH_DIR)
+        directory.mkdir(parents=True, exist_ok=True)
+        out = directory / f"BENCH_{stamp}.json"
     out = Path(out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return out

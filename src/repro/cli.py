@@ -24,6 +24,35 @@ from repro.stats.report import render_run_report
 from repro.workloads.registry import paper_workloads, workload_names
 
 
+from contextlib import contextmanager
+
+
+@contextmanager
+def _recording(args: argparse.Namespace, source: str):
+    """Install a history recorder for the duration of a command when the
+    user passed ``--record [BATCH]``; print its summary on the way out.
+
+    Recording is strictly opt-in here, so default runs stay zero-overhead
+    and byte-identical; an explicit ``--record`` wins over the
+    ``REPRO_NO_HISTORY`` environment gate.
+    """
+    batch = getattr(args, "record", None)
+    if batch is None:
+        yield None
+        return
+    from repro.experiments.runner import HistoryRecorder, set_history_recorder
+    from repro.obs.history import HistoryArchive
+
+    archive = HistoryArchive(getattr(args, "archive", None))
+    rec = HistoryRecorder(archive, source=source, batch=batch or None)
+    set_history_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_history_recorder(None)
+        print(rec.summary(), file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = RunSpec(
         workload=args.workload,
@@ -37,7 +66,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         bus_bandwidth_factor=args.bus_bandwidth,
         inclusive=not args.non_inclusive,
     )
-    result = run_spec(spec, use_cache=not args.no_cache)
+    with _recording(args, "run"):
+        result = run_spec(spec, use_cache=not args.no_cache)
     print(render_run_report(result))
     return 0
 
@@ -352,6 +382,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    with _recording(args, "figure"):
+        return _figure_body(args)
+
+
+def _figure_body(args: argparse.Namespace) -> int:
     kwargs = {"scale": args.scale, "jobs": args.jobs}
     if args.workloads:
         kwargs["workloads"] = args.workloads
@@ -396,7 +431,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         return 2
     from repro.experiments.table1 import format_table1, run_table1
 
-    print(format_table1(run_table1(scale=args.scale, jobs=args.jobs)))
+    with _recording(args, "table"):
+        print(format_table1(run_table1(scale=args.scale, jobs=args.jobs)))
     _print_cache_summary()
     return 0
 
@@ -637,6 +673,49 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Sentinel for a bare ``--compare`` (no path): gate against the archive.
+_ROLLING = "@rolling"
+
+#: Fallback baseline when the archive holds no bench rows yet.
+_BASELINE_FILE = "benchmarks/BENCH_baseline.json"
+
+
+def _bench_baseline(args: argparse.Namespace):
+    """Resolve the ``--compare`` operand to a BENCH payload.
+
+    A path loads that file.  Bare ``--compare`` gates against the rolling
+    median of the last ``--baseline-runs`` archived bench rows, falling
+    back to the committed ``benchmarks/BENCH_baseline.json`` while the
+    archive is still empty.  Returns ``(payload_or_None, label)``.
+    """
+    from repro.bench import load_bench
+
+    if args.compare != _ROLLING:
+        return load_bench(args.compare), args.compare
+    from repro.bench.compare import rolling_baseline
+    from repro.obs.history import HistoryArchive
+
+    archive = HistoryArchive(args.archive)
+    old = rolling_baseline(archive, last=args.baseline_runs,
+                           quick=args.quick)
+    if old is not None:
+        runs = old.get("rolling", {}).get("runs", "?")
+        return old, f"rolling median of {runs} archived run(s)"
+    from pathlib import Path
+
+    if Path(_BASELINE_FILE).exists():
+        return load_bench(_BASELINE_FILE), f"{_BASELINE_FILE} (fallback)"
+    raise BenchBaselineError(
+        f"no archived bench runs in {archive.path} and no "
+        f"{_BASELINE_FILE} fallback; run 'coma-sim bench' once with "
+        "recording enabled or pass an explicit --compare PATH"
+    )
+
+
+class BenchBaselineError(Exception):
+    """Bare ``--compare`` had neither archive rows nor a baseline file."""
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchFileError,
@@ -647,9 +726,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         write_bench,
     )
+    from repro.obs.history import history_disabled
 
     try:
-        old = load_bench(args.compare) if args.compare else None
+        old = label = None
+        if args.compare is not None:
+            old, label = _bench_baseline(args)
         if args.new is not None:
             # Compare two existing files; no timing run.
             if old is None:
@@ -657,24 +739,162 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 return 2
             new = load_bench(args.new)
         else:
-            label = "quick suites" if args.quick else "full suites"
-            print(f"bench: {label}, {args.repeats} repeat(s), "
+            run_label = "quick suites" if args.quick else "full suites"
+            print(f"bench: {run_label}, {args.repeats} repeat(s), "
                   f"jobs={args.jobs}", file=sys.stderr)
             new = run_bench(
                 quick=args.quick, jobs=args.jobs, repeats=args.repeats,
                 only=args.suites or None,
                 echo=lambda line: print(line, file=sys.stderr),
             )
-            path = write_bench(new, out=args.out)
+            path = write_bench(new, out=args.out, out_dir=args.out_dir)
             print(f"wrote {path}")
-    except (BenchFileError, ValueError) as exc:
+            record = args.record if args.record is not None \
+                else not history_disabled()
+            if record:
+                from repro.obs.history import HistoryArchive
+
+                outcome = HistoryArchive(args.archive).record_bench(new)
+                print(f"history: bench {outcome}", file=sys.stderr)
+    except (BenchFileError, BenchBaselineError, ValueError) as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2
     if old is None:
         return 0
+    print(f"baseline: {label}", file=sys.stderr)
     rows = compare_benches(old, new, threshold_pct=args.threshold)
     print(format_comparison(rows, args.threshold))
     return 1 if has_regression(rows) else 0
+
+
+def _emit(out: str, args: argparse.Namespace, what: str) -> None:
+    """Print ``out`` or write it to ``--out`` (with a pointer line)."""
+    if getattr(args, "out", None):
+        with open(args.out, "w") as fh:
+            fh.write(out if out.endswith("\n") else out + "\n")
+        print(f"{what}: {args.out}")
+    else:
+        print(out)
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.history import (
+        HistoryArchive,
+        HistoryArchiveError,
+        format_history,
+        format_trend,
+    )
+
+    archive = HistoryArchive(args.archive)
+    try:
+        if args.action == "list":
+            rows = archive.list_runs(
+                workload=args.workload, key=args.key,
+                batch=args.batch, limit=args.limit,
+            )
+            if args.format == "json":
+                _emit(_json.dumps(rows, indent=2, sort_keys=True),
+                      args, "history")
+            else:
+                print(f"history: {len(rows)} of {archive.run_count()} "
+                      f"run(s) in {archive.path}")
+                if rows:
+                    print(format_history(rows))
+            return 0
+        if args.action == "show":
+            if not args.key:
+                print("history show: a run key (or unique prefix) is "
+                      "required", file=sys.stderr)
+                return 2
+            row = archive.get_run(args.key, rev=args.rev)
+            if row is None:
+                print(f"history: no run matching key {args.key!r}",
+                      file=sys.stderr)
+                return 1
+            _emit(_json.dumps(row, indent=2, sort_keys=True),
+                  args, "history")
+            return 0
+        if args.action == "trend":
+            report = archive.trend(
+                last=args.last, threshold_pct=args.threshold,
+                quick=args.quick or None,
+            )
+            if args.format == "json":
+                _emit(_json.dumps(report, indent=2, sort_keys=True),
+                      args, "trend")
+            else:
+                print(format_trend(report))
+            flagged = any(r["status"] == "regression"
+                          for r in report["suites"].values())
+            return 1 if flagged else 0
+        if args.action == "gc":
+            stats = archive.gc(
+                keep_revisions=args.keep_revisions,
+                keep_benches=args.keep_benches,
+                dry_run=args.dry_run,
+            )
+            tag = "would delete" if stats["dry_run"] else "deleted"
+            print(f"history gc: {tag} {stats['runs_deleted']} run row(s), "
+                  f"{stats['benches_deleted']} bench row(s)")
+            return 0
+    except HistoryArchiveError as exc:
+        print(f"history: {exc}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse restricts choices
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.diff import (
+        diff_runs,
+        diff_sweeps,
+        format_diff,
+        format_sweep_diff,
+    )
+    from repro.obs.history import HistoryArchive, HistoryArchiveError
+
+    if not args.sweep and len(args.keys) != 2:
+        print("diff: expected exactly two run keys (or --sweep A B)",
+              file=sys.stderr)
+        return 2
+    archive = HistoryArchive(args.archive)
+    try:
+        if args.sweep:
+            batch_a, batch_b = args.sweep
+            rows_a = [archive.get_run(r["key"], rev=r["rev"])
+                      for r in archive.list_runs(batch=batch_a, limit=1000)]
+            rows_b = [archive.get_run(r["key"], rev=r["rev"])
+                      for r in archive.list_runs(batch=batch_b, limit=1000)]
+            if not rows_a or not rows_b:
+                missing = batch_a if not rows_a else batch_b
+                print(f"diff: no archived runs in batch {missing!r}",
+                      file=sys.stderr)
+                return 1
+            report = diff_sweeps(rows_a, rows_b, noise_pct=args.noise)
+            out = (_json.dumps(report, indent=2, sort_keys=True)
+                   if args.format == "json" else format_sweep_diff(report))
+            _emit(out, args, "diff")
+            worst = report.get("worst_regression")
+            return 1 if worst and worst["elapsed"]["change_pct"] > \
+                args.noise else 0
+        a = archive.get_run(args.keys[0])
+        b = archive.get_run(args.keys[1])
+        for key, row in ((args.keys[0], a), (args.keys[1], b)):
+            if row is None:
+                print(f"diff: no archived run matching key {key!r}",
+                      file=sys.stderr)
+                return 1
+        report = diff_runs(a, b, noise_pct=args.noise)
+        out = (_json.dumps(report, indent=2, sort_keys=True)
+               if args.format == "json" else format_diff(report))
+        _emit(out, args, "diff")
+        return 0
+    except HistoryArchiveError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -762,6 +982,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         burst=args.burst,
         max_sweep_points=args.max_sweep_points,
         drain_timeout=args.drain_timeout,
+        history_path=args.archive,
+        record=args.record,
     )
 
     def ready(service) -> None:
@@ -827,6 +1049,20 @@ def build_parser() -> argparse.ArgumentParser:
             "default; -1 = one per CPU)",
         )
 
+    def _record_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--record", nargs="?", const="", default=None, metavar="BATCH",
+            help="archive completed runs in the history store, optionally "
+            "tagged with a batch name (see 'coma-sim history')",
+        )
+        sp.add_argument(
+            "--archive", metavar="PATH",
+            help="history archive file (default "
+            "$REPRO_HISTORY_DIR/history.sqlite, .repro_history/)",
+        )
+
+    _record_flags(run)
+
     fig = sub.add_parser("figure", help="reproduce a paper figure")
     fig.add_argument("number", type=int)
     fig.add_argument("--scale", type=float, default=1.0)
@@ -834,12 +1070,14 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=workload_names(),
                      help="restrict the sweep to these applications")
     _jobs_flag(fig)
+    _record_flags(fig)
     fig.set_defaults(func=_cmd_figure)
 
     tab = sub.add_parser("table", help="reproduce a paper table")
     tab.add_argument("number", type=int)
     tab.add_argument("--scale", type=float, default=1.0)
     _jobs_flag(tab)
+    _record_flags(tab)
     tab.set_defaults(func=_cmd_table)
 
     ls = sub.add_parser("list", help="list available workloads")
@@ -1038,18 +1276,96 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=_suite_names(),
                     help="restrict to these suites")
     bn.add_argument("--out", metavar="PATH",
-                    help="output path (default BENCH_<timestamp>.json)")
+                    help="explicit output path (overrides --out-dir)")
+    bn.add_argument("--out-dir", metavar="DIR",
+                    help="directory for BENCH_<timestamp>.json outputs "
+                    "(default benchmarks/)")
     bn.add_argument("--compare", metavar="BENCH_OLD.json",
-                    help="compare against this baseline; exit 1 on "
-                    "regression")
+                    nargs="?", const=_ROLLING,
+                    help="compare against this baseline and exit 1 on "
+                    "regression; with no path, gate against the rolling "
+                    "median of recently archived runs (falling back to "
+                    f"{_BASELINE_FILE})")
     bn.add_argument("--new", metavar="BENCH_NEW.json",
                     help="with --compare: diff two existing files "
                     "without running")
     bn.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
                     help="wall-time slowdown that counts as a regression "
                     "(default 10%%)")
+    bn.add_argument("--baseline-runs", type=int, default=5, metavar="N",
+                    help="archived runs in the bare --compare rolling "
+                    "median (default 5)")
+    bn.add_argument("--record", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="archive the bench payload in the history store "
+                    "(default: record unless REPRO_NO_HISTORY is set)")
+    bn.add_argument("--archive", metavar="PATH",
+                    help="history archive file (default "
+                    "$REPRO_HISTORY_DIR/history.sqlite)")
     _jobs_flag(bn)
     bn.set_defaults(func=_cmd_bench)
+
+    hi = sub.add_parser(
+        "history",
+        help="query the persistent run/bench archive "
+        "(list, show, trend, gc)",
+    )
+    hi.add_argument("action", choices=["list", "show", "trend", "gc"])
+    hi.add_argument("key", nargs="?",
+                    help="run key (or unique prefix) for 'show'; "
+                    "key prefix filter for 'list'")
+    hi.add_argument("--archive", metavar="PATH",
+                    help="history archive file (default "
+                    "$REPRO_HISTORY_DIR/history.sqlite)")
+    hi.add_argument("--workload", metavar="WL",
+                    help="list: only runs of this workload")
+    hi.add_argument("--batch", metavar="NAME",
+                    help="list: only runs recorded under this batch tag")
+    hi.add_argument("--limit", type=int, default=50, metavar="N",
+                    help="list: at most N rows (default 50)")
+    hi.add_argument("--rev", type=int, metavar="R",
+                    help="show: this revision instead of the newest")
+    hi.add_argument("--last", type=int, default=10, metavar="N",
+                    help="trend: window of archived bench runs "
+                    "(default 10)")
+    hi.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                    help="trend: regression threshold vs the rolling "
+                    "median (default 10%%)")
+    hi.add_argument("--quick", action="store_true",
+                    help="trend: only quick-mode bench rows")
+    hi.add_argument("--keep-revisions", type=int, default=1, metavar="N",
+                    help="gc: newest revisions kept per key (default 1)")
+    hi.add_argument("--keep-benches", type=int, metavar="N",
+                    help="gc: newest bench rows kept (default: keep all)")
+    hi.add_argument("--dry-run", action="store_true",
+                    help="gc: report what would be deleted, delete "
+                    "nothing")
+    hi.add_argument("--format", choices=["table", "json"], default="table")
+    hi.add_argument("--out", metavar="PATH",
+                    help="write JSON output to a file instead of stdout")
+    hi.set_defaults(func=_cmd_history)
+
+    dd = sub.add_parser(
+        "diff",
+        help="differential attribution between two archived runs: "
+        "counter ratios, phase deltas naming the responsible phase, "
+        "histogram shifts",
+    )
+    dd.add_argument("keys", nargs="*", metavar="KEY",
+                    help="two run keys (or unique prefixes) to diff")
+    dd.add_argument("--sweep", nargs=2, metavar=("BATCH_A", "BATCH_B"),
+                    help="diff two recorded batches point-by-point "
+                    "instead of two keys")
+    dd.add_argument("--noise", type=float, default=1.0, metavar="PCT",
+                    help="counter changes at or below this are flagged "
+                    "as noise (default 1%%)")
+    dd.add_argument("--archive", metavar="PATH",
+                    help="history archive file (default "
+                    "$REPRO_HISTORY_DIR/history.sqlite)")
+    dd.add_argument("--format", choices=["table", "json"], default="table")
+    dd.add_argument("--out", metavar="PATH",
+                    help="write the report to a file instead of stdout")
+    dd.set_defaults(func=_cmd_diff)
 
     ex = sub.add_parser(
         "explain", help="narrate one cache line's protocol history"
@@ -1087,6 +1403,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="largest accepted sweep request")
     sv.add_argument("--drain-timeout", type=float, default=10.0, metavar="S",
                     help="seconds to wait for in-flight work on shutdown")
+    sv.add_argument("--record", action="store_true",
+                    help="archive completed simulations in the history "
+                    "store (served at GET /history and GET /diff)")
+    sv.add_argument("--archive", metavar="PATH",
+                    help="history archive file (default "
+                    "$REPRO_HISTORY_DIR/history.sqlite)")
     sv.set_defaults(func=_cmd_serve)
 
     lt = sub.add_parser(

@@ -147,6 +147,134 @@ def set_experiment_metrics(registry) -> None:
         _metrics = ExperimentInstruments(registry)
 
 
+#: Optional :class:`HistoryRecorder`; installed by ``coma-sim`` commands
+#: and the serve layer via :func:`set_history_recorder`.  ``None`` (the
+#: default) keeps every run-path branch a single ``is not None`` test —
+#: the same zero-overhead-when-detached discipline as the metrics hook.
+_history = None
+
+
+class HistoryRecorder:
+    """Routes completed runs into a run-history archive.
+
+    Lives on the wall-clock side of the DET fence: it stamps rows with
+    the host timestamp and git revision, while the archive module itself
+    (:mod:`repro.obs.history`) stays deterministic.  Recording is
+    best-effort — an archive failure increments ``outcomes['errors']``
+    and never fails the run.
+
+    ``attribute=True`` additionally attaches a
+    :class:`~repro.obs.spans.StallAttribution` to every cache-miss
+    simulation so rows carry phase totals, latency histograms and
+    witness span trees.  Attribution is observational: attaching it
+    cannot change the simulated result (the test suite proves byte
+    identity).
+    """
+
+    def __init__(self, archive, source: str = "run", batch: Optional[str] = None,
+                 attribute: bool = True, top_spans: int = 3,
+                 on_record=None) -> None:
+        self.archive = archive
+        self.source = source
+        self.batch = batch
+        self.attribute = attribute
+        self.top_spans = top_spans
+        #: Optional callback ``on_record(outcome)`` — the serve layer
+        #: mirrors outcomes into its ``serve_history_records`` counter.
+        self.on_record = on_record
+        self.outcomes = {"inserted": 0, "deduped": 0, "revision": 0,
+                         "skipped": 0, "errors": 0}
+        self._seen: set[str] = set()
+        self._git_rev = git_revision()
+
+    def attribution(self):
+        """A fresh attribution sink for one miss (None when disabled)."""
+        if not self.attribute:
+            return None
+        from repro.obs.spans import StallAttribution
+
+        return StallAttribution(top_spans=self.top_spans)
+
+    @property
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+    def summary(self) -> str:
+        o = self.outcomes
+        return (
+            f"history: {self.total} recorded — {o['inserted']} inserted, "
+            f"{o['deduped']} deduped, {o['revision']} revisions, "
+            f"{o['skipped']} skipped, {o['errors']} errors "
+            f"-> {self.archive.path}"
+        )
+
+    def record(self, spec: "RunSpec", key: str, result: SimulationResult,
+               cache: str, wall_time_s: Optional[float] = None,
+               attribution=None) -> str:
+        """Record one completed run; returns the archive outcome."""
+        if cache != "miss" and key in self._seen:
+            # This process already recorded this key; re-recording a hit
+            # would only re-dedup against our own row.
+            self.outcomes["skipped"] += 1
+            return "skipped"
+        try:
+            phases = histograms = top_spans = None
+            if attribution is not None:
+                from repro.obs.history import phase_totals
+
+                phases = phase_totals(attribution)
+                histograms = attribution.registry.snapshot()
+                top_spans = [
+                    [e.to_record() for e in tree]
+                    for tree in attribution.slowest_spans()
+                ]
+            manifest = load_manifest(key)
+            outcome = self.archive.record_run(
+                key=key,
+                spec=asdict(spec),
+                result=result.to_dict(),
+                recorded_at=datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"),
+                source=self.source,
+                cache=cache,
+                batch=self.batch,
+                cache_version=CACHE_VERSION,
+                git_rev=self._git_rev,
+                wall_time_s=wall_time_s,
+                phases=phases,
+                histograms=histograms,
+                top_spans=top_spans,
+                manifest=asdict(manifest) if manifest is not None else None,
+            )
+        except Exception:
+            # Best-effort by contract: a broken archive (disk full,
+            # locked beyond timeout) must never fail the simulation.
+            self.outcomes["errors"] += 1
+            outcome = "error"
+        else:
+            self.outcomes[outcome] += 1
+        self._seen.add(key)
+        if self.on_record is not None:
+            self.on_record(outcome)
+        return outcome
+
+
+def set_history_recorder(recorder) -> None:
+    """Install (or with ``None`` remove) the run-history recorder.
+
+    Mirrors :func:`set_experiment_metrics`: the deterministic archive
+    lives in ``repro.obs.history``; this wall-clock layer decides *when*
+    rows are written and stamps their provenance.
+    """
+    global _history
+    _history = recorder
+
+
+def history_recorder():
+    """The installed :class:`HistoryRecorder`, or None."""
+    return _history
+
+
 def cache_stats() -> dict[str, int]:
     """A copy of the process-wide cache hit/miss tally."""
     return dict(_cache_stats)
@@ -462,21 +590,29 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         _bump_stat("memory_hits")
         if _metrics is not None:
             _metrics.cache_requests.labels("memory_hit").inc()
-        return _memory_cache[key]
+        result = _memory_cache[key]
+        if _history is not None:
+            _history.record(spec, key, result, "memory_hit")
+        return result
     cache_dir = _cache_dir() if use_cache else None
     if cache_dir is not None:
         result = _read_disk(cache_dir, key)
+        if result is None:
+            # Double-checked read-after-miss: a concurrent worker racing
+            # on this key may have published between the first look and
+            # now (atomic os.replace makes the entry appear all at once).
+            result = _read_disk(cache_dir, key)
         if result is not None:
-            return _disk_hit(cache_dir, key, spec, result)
-        # Double-checked read-after-miss: a concurrent worker racing on
-        # this key may have published between the first look and now
-        # (its atomic os.replace makes the entry appear all at once).
-        result = _read_disk(cache_dir, key)
-        if result is not None:
-            return _disk_hit(cache_dir, key, spec, result)
+            result = _disk_hit(cache_dir, key, spec, result)
+            if _history is not None:
+                _history.record(spec, key, result, "disk_hit")
+            return result
     _bump_stat("misses")
+    att = _history.attribution() if _history is not None else None
     t0 = time.perf_counter()
     sim = build_simulation(spec)
+    if att is not None:
+        sim.attach(att)
     result = sim.run()
     wall = time.perf_counter() - t0
     if _metrics is not None:
@@ -489,4 +625,7 @@ def run_spec(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
             # provenance sidecar, even under SIGKILL between the writes.
             _write_manifest(cache_dir, key, spec, "miss", wall)
             _publish_text(cache_dir / f"{key}.json", json.dumps(result.to_dict()))
+    if _history is not None:
+        _history.record(spec, key, result, "miss", wall_time_s=wall,
+                        attribution=att)
     return result

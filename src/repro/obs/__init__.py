@@ -26,6 +26,12 @@ explainable:
 * :mod:`repro.obs.spans`       — causal span trees per memory access and
   the :class:`StallAttribution` latency-attribution aggregator (behind
   ``coma-sim attribute``);
+* :mod:`repro.obs.history`     — persistent sqlite-backed run/bench
+  archive (``coma-sim history``), one row per completed RunSpec with
+  counters, attribution totals and provenance;
+* :mod:`repro.obs.diff`        — differential attribution between
+  archived runs (``coma-sim diff``): counter ratios, phase-delta
+  breakdowns naming the responsible phase, histogram shifts;
 * :mod:`repro.obs.timeline`    — :class:`TimelineSampler` columnar
   metric series over simulated time (JSON / Perfetto counter tracks).
 
@@ -46,7 +52,9 @@ from repro.obs.events import (
     Transition,
     format_event,
 )
+from repro.obs.diff import diff_runs, diff_sweeps, format_diff
 from repro.obs.flight import FlightRecorder
+from repro.obs.history import HistoryArchive, default_history_path
 from repro.obs.jsonl import JsonlTraceSink, read_trace
 from repro.obs.manifest import RunManifest, git_revision, provenance_header
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -69,6 +77,7 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HistoryArchive",
     "JsonlTraceSink",
     "LineBiography",
     "MemAccess",
@@ -84,7 +93,11 @@ __all__ = [
     "TimelineSampler",
     "TraceSink",
     "Transition",
+    "default_history_path",
+    "diff_runs",
+    "diff_sweeps",
     "format_attribution",
+    "format_diff",
     "format_event",
     "format_span_tree",
     "git_revision",

@@ -179,6 +179,60 @@ class OpenMetricsParseError(ValueError):
     pass
 
 
+def _split_exemplar(line: str) -> tuple[str, Optional[str]]:
+    """Split a sample line from its exemplar at the `` # `` that sits
+    *outside* quoted label values.
+
+    A naive ``line.partition(" # ")`` truncates samples whose label
+    values contain a literal ``" # "`` (only ``\\``, ``"`` and newlines
+    are escaped, so the sequence can appear raw inside quotes) — this
+    scanner tracks quoting so only a real exemplar separator splits.
+    """
+    in_quotes = False
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if in_quotes:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+        elif ch == '"':
+            in_quotes = True
+        elif ch == " " and line.startswith(" # ", i):
+            return line[:i], line[i + 3:]
+        i += 1
+    return line, None
+
+
+def _parse_value(text: str, lineno: int):
+    """A sample value, preserving the int/float distinction the exporter
+    wrote (``5`` stays ``int``, ``5.0`` stays ``float``) so a re-render
+    reproduces the original bytes."""
+    try:
+        if not any(c in text for c in ".eEnN"):
+            return int(text)
+        return float(text)
+    except ValueError as exc:
+        raise OpenMetricsParseError(
+            f"line {lineno}: bad value {text!r}") from exc
+
+
+def _parse_exemplar(text: str, lineno: int) -> dict:
+    """``{labels} value`` after the exemplar separator."""
+    text = text.strip()
+    if not text.startswith("{"):
+        raise OpenMetricsParseError(
+            f"line {lineno}: malformed exemplar {text!r}")
+    close = text.rindex("}")
+    labels = _parse_labels(text[1:close])
+    return {
+        "labels": labels,
+        "value": _parse_value(text[close + 1:].strip(), lineno),
+    }
+
+
 def _parse_labels(text: str) -> dict[str, str]:
     labels: dict[str, str] = {}
     i = 0
@@ -206,13 +260,22 @@ def _parse_labels(text: str) -> dict[str, str]:
     return labels
 
 
-def parse_openmetrics(text: str) -> dict[str, dict]:
+def parse_openmetrics(
+    text: str, exemplars: Optional[dict] = None
+) -> dict[str, dict]:
     """Parse an exposition back into ``{family: {type, help, samples}}``.
 
     ``samples`` maps the full sample name to a list of
-    ``(labels dict, value)`` pairs.  Raises
-    :class:`OpenMetricsParseError` on malformed input, samples preceding
-    their ``# TYPE`` line, or a missing ``# EOF`` terminator.
+    ``(labels dict, value)`` pairs (ints stay ints, so a re-render is
+    byte-identical).  Raises :class:`OpenMetricsParseError` on malformed
+    input, samples preceding their ``# TYPE`` line, or a missing
+    ``# EOF`` terminator.
+
+    ``exemplars`` — optionally pass a dict to capture exemplar
+    annotations: it is filled with ``{family: [{"sample", "labels",
+    "exemplar": {"labels", "value"}}, ...]}`` in exposition order (kept
+    out of the return value so two expositions differing only in
+    exemplars still parse equal).
     """
     families: dict[str, dict] = {}
     saw_eof = False
@@ -240,7 +303,7 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
         if line.startswith("#"):
             continue
         # A sample: name{labels} value [# {exemplar labels} exemplar]
-        body, _, _ = line.partition(" # ")
+        body, exemplar_text = _split_exemplar(line)
         brace = body.find("{")
         if brace >= 0:
             close = body.rindex("}")
@@ -254,17 +317,103 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
         if family is None:
             raise OpenMetricsParseError(
                 f"line {lineno}: sample {sample_name!r} precedes its TYPE")
-        try:
-            value = float(value_text)
-        except ValueError as exc:
-            raise OpenMetricsParseError(
-                f"line {lineno}: bad value {value_text!r}") from exc
+        value = _parse_value(value_text, lineno)
         families[family]["samples"].setdefault(sample_name, []).append(
             (labels, value)
         )
+        if exemplar_text is not None and exemplars is not None:
+            exemplars.setdefault(family, []).append({
+                "sample": sample_name,
+                "labels": labels,
+                "exemplar": _parse_exemplar(exemplar_text, lineno),
+            })
     if not saw_eof:
         raise OpenMetricsParseError("missing # EOF terminator")
     return families
+
+
+def render_openmetrics(families: dict[str, dict],
+                       exemplars: Optional[dict] = None) -> str:
+    """Re-render a :func:`parse_openmetrics` result back to text.
+
+    For exporter-produced expositions the render is byte-identical to
+    the original — including exemplar annotations when the ``exemplars``
+    capture dict from the parse is passed back in — which is the
+    round-trip property the test suite certifies (parse → render →
+    parse is then trivially lossless).
+    """
+    lines: list[str] = []
+    for name, fam in families.items():
+        lines.append(f"# TYPE {name} {fam['type']}")
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {fam['help']}")
+        fam_ex = list((exemplars or {}).get(name, ()))
+        if fam["type"] == "histogram":
+            _render_parsed_histogram(name, fam["samples"], fam_ex, lines)
+        else:
+            for sample_name, entries in fam["samples"].items():
+                for labels, value in entries:
+                    lines.append(_sample_line(sample_name, labels, value))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _sample_line(sample_name: str, labels: dict, value,
+                 exemplar: Optional[dict] = None) -> str:
+    pairs = ",".join(
+        f'{n}="{escape_label_value(v)}"' for n, v in labels.items()
+    )
+    line = f"{sample_name}{{{pairs}}}" if pairs else sample_name
+    line += f" {_fmt_value(value)}"
+    if exemplar is not None:
+        ex_pairs = ",".join(
+            f'{n}="{escape_label_value(str(v))}"'
+            for n, v in exemplar["labels"].items()
+        )
+        line += f" # {{{ex_pairs}}} {_fmt_value(exemplar['value'])}"
+    return line
+
+
+def _render_parsed_histogram(name: str, samples: dict, fam_ex: list,
+                             lines: list[str]) -> None:
+    """Re-interleave parsed histogram samples into the exporter's line
+    order: per labelset, every bucket line, then ``_sum``, ``_count``."""
+
+    def exemplar_for(sample_name: str, labels: dict) -> Optional[dict]:
+        for i, entry in enumerate(fam_ex):
+            if entry["sample"] == sample_name and entry["labels"] == labels:
+                return fam_ex.pop(i)["exemplar"]
+        return None
+
+    buckets = samples.get(f"{name}_bucket", [])
+    sums = samples.get(f"{name}_sum", [])
+    counts = samples.get(f"{name}_count", [])
+    group = 0  # index into sums/counts: one labelset per (sum, count)
+    prev_base: Optional[dict] = None
+    for labels, value in buckets:
+        base = {k: v for k, v in labels.items() if k != "le"}
+        if prev_base is not None and base != prev_base:
+            _emit_sum_count(name, sums, counts, group, lines)
+            group += 1
+        prev_base = base
+        lines.append(_sample_line(
+            f"{name}_bucket", labels, value,
+            exemplar_for(f"{name}_bucket", labels)))
+    if prev_base is not None:
+        _emit_sum_count(name, sums, counts, group, lines)
+        group += 1
+    # Sums/counts beyond the bucket groups (shouldn't happen for
+    # exporter output, but parsed input is re-rendered faithfully).
+    for i in range(group, max(len(sums), len(counts))):
+        _emit_sum_count(name, sums, counts, i, lines)
+
+
+def _emit_sum_count(name: str, sums: list, counts: list, i: int,
+                    lines: list[str]) -> None:
+    if i < len(sums):
+        lines.append(_sample_line(f"{name}_sum", *sums[i]))
+    if i < len(counts):
+        lines.append(_sample_line(f"{name}_count", *counts[i]))
 
 
 def _family_of(sample_name: str, families: dict) -> Optional[str]:

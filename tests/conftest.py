@@ -13,6 +13,9 @@ from repro.mem.address import AddressSpace
 
 # Tests must never read results cached by an older code version.
 os.environ.setdefault("REPRO_NO_DISK_CACHE", "1")
+# ... and must never append to (or read) a developer's history archive;
+# history tests opt back in with explicit archive paths.
+os.environ.setdefault("REPRO_NO_HISTORY", "1")
 
 
 def make_machine(

@@ -241,3 +241,112 @@ class TestCli:
                    "--compare", str(out), "--threshold", "400"])
         assert rc == 0
         assert "PASS" in capsys.readouterr().out
+
+class TestOutDir:
+    def test_default_out_dir_is_benchmarks(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        payload = make_bench({"a": entry(1.0)})
+        payload["timestamp"] = "2026-01-01T00:00:00+00:00"
+        path = write_bench(payload)
+        assert path.parent == tmp_path / "benchmarks" \
+            or path.parent.name == "benchmarks"
+        assert path.name == "BENCH_20260101T000000.json"
+
+    def test_out_dir_flag(self, tmp_path):
+        payload = make_bench({"a": entry(1.0)})
+        payload["timestamp"] = "2026-01-01T00:00:00+00:00"
+        path = write_bench(payload, out_dir=tmp_path / "elsewhere")
+        assert path.parent == tmp_path / "elsewhere"
+
+    def test_explicit_out_wins(self, tmp_path):
+        payload = make_bench({"a": entry(1.0)})
+        path = write_bench(payload, out=tmp_path / "here.json",
+                           out_dir=tmp_path / "ignored")
+        assert path == tmp_path / "here.json"
+        assert not (tmp_path / "ignored").exists()
+
+    def test_cli_out_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit", "--out-dir", str(tmp_path / "d")])
+        assert rc == 0
+        files = list((tmp_path / "d").glob("BENCH_*.json"))
+        assert len(files) == 1
+
+
+class TestArchiveCompare:
+    """Bare ``--compare``: gate against the archive's rolling median."""
+
+    def archive(self, tmp_path):
+        from repro.obs.history import HistoryArchive
+
+        return HistoryArchive(tmp_path / "hist.sqlite")
+
+    def test_bare_compare_uses_rolling_median(self, tmp_path, capsys):
+        from repro.cli import main
+
+        archive = self.archive(tmp_path)
+        # Seed the archive with a very generous baseline.
+        archive.record_bench({"schema": BENCH_SCHEMA, "timestamp": "t0",
+                              "quick": True,
+                              "suites": {"l1_hit": {"wall_s": 1e9}}})
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit",
+                   "--out", str(tmp_path / "n.json"),
+                   "--no-record", "--compare",
+                   "--archive", str(archive.path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "rolling median" in captured.err
+        assert "improvement" in captured.out or "ok" in captured.out
+
+    def test_bare_compare_falls_back_to_baseline_file(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "benchmarks").mkdir()
+        baseline = make_bench({"l1_hit": entry(1e9)})
+        (tmp_path / "benchmarks" / "BENCH_baseline.json").write_text(
+            json.dumps(baseline))
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit",
+                   "--out", str(tmp_path / "n.json"), "--no-record",
+                   "--compare", "--archive", str(tmp_path / "empty.sqlite")])
+        assert rc == 0
+        assert "fallback" in capsys.readouterr().err
+
+    def test_bare_compare_without_any_baseline_errors(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit", "--no-record", "--compare",
+                   "--archive", str(tmp_path / "empty.sqlite")])
+        assert rc == 2
+        assert "no archived bench runs" in capsys.readouterr().err
+
+    def test_record_flag_archives_the_payload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        archive = self.archive(tmp_path)
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit", "--out", str(tmp_path / "b.json"),
+                   "--record", "--archive", str(archive.path)])
+        assert rc == 0
+        assert archive.bench_count() == 1
+        assert "bench inserted" in capsys.readouterr().err
+        assert archive.list_benches()[0]["quick"] is True
+
+    def test_no_record_by_default_under_no_history_env(
+            self, tmp_path, capsys):
+        from repro.cli import main
+
+        # conftest sets REPRO_NO_HISTORY=1: auto-record must stay off.
+        rc = main(["bench", "--quick", "--repeats", "1",
+                   "--suites", "l1_hit", "--out", str(tmp_path / "b.json"),
+                   "--archive", str(tmp_path / "h.sqlite")])
+        assert rc == 0
+        assert not (tmp_path / "h.sqlite").exists()

@@ -14,7 +14,8 @@ ROOT = Path(__file__).parent.parent
 class TestDocsPresent:
     @pytest.mark.parametrize(
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-                 "docs/ARCHITECTURE.md", "docs/PROTOCOL.md"]
+                 "docs/ARCHITECTURE.md", "docs/PROTOCOL.md",
+                 "docs/HISTORY.md"]
     )
     def test_exists_and_substantial(self, name):
         path = ROOT / name

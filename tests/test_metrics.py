@@ -18,6 +18,7 @@ from repro.obs.openmetrics import (
     OpenMetricsParseError,
     escape_label_value,
     parse_openmetrics,
+    render_openmetrics,
     to_json,
     to_openmetrics,
     to_table,
@@ -318,6 +319,45 @@ class TestOpenMetrics:
     def test_parse_rejects_untyped_sample(self):
         with pytest.raises(OpenMetricsParseError):
             parse_openmetrics("mystery 1\n# EOF\n")
+
+    def test_render_round_trip_byte_identical(self):
+        # parse → render must reproduce the exporter output byte for
+        # byte — counters, gauges, and histograms all included.
+        text = to_openmetrics(run_with_registry())
+        ex: dict = {}
+        assert render_openmetrics(parse_openmetrics(text, ex), ex) == text
+
+    def test_render_preserves_int_float_distinction(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("mix", "ints and floats", labels=("k",))
+        g.labels("i").set(5)
+        g.labels("f").set(5.0)
+        text = to_openmetrics(reg)
+        assert 'mix{k="i"} 5\n' in text
+        assert 'mix{k="f"} 5.0\n' in text
+        assert render_openmetrics(parse_openmetrics(text)) == text
+
+    def test_render_round_trip_label_containing_hash(self):
+        # A literal " # " inside a label value must not be mistaken for
+        # an exemplar separator, and must survive a re-render intact.
+        reg = MetricsRegistry()
+        fam = reg.counter("odd", "odd labels", labels=("k",))
+        fam.labels('route # {weird="yes"} 9').inc(3)
+        text = to_openmetrics(reg)
+        ex: dict = {}
+        parsed = parse_openmetrics(text, ex)
+        assert ex == {}  # no exemplars: the " # " was inside quotes
+        (labels, value), = parsed["odd"]["samples"]["odd_total"]
+        assert labels["k"] == 'route # {weird="yes"} 9'
+        assert value == 3
+        assert render_openmetrics(parsed) == text
+
+    def test_render_round_trip_escaped_labels_and_help(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("esc", 'help with \\ and\nnewline', labels=("k",))
+        fam.labels('a"b\\c\nd').inc(1)
+        text = to_openmetrics(reg)
+        assert render_openmetrics(parse_openmetrics(text)) == text
 
     def test_json_export_carries_provenance(self):
         registry = run_with_registry()

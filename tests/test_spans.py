@@ -13,7 +13,11 @@ from repro.experiments.runner import RunSpec, build_simulation
 from repro.obs.chrometrace import ChromeTraceSink, validate_trace_events
 from repro.obs.events import SpanEvent, record_to_event
 from repro.obs.jsonl import JsonlTraceSink
-from repro.obs.openmetrics import parse_openmetrics, to_openmetrics
+from repro.obs.openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    to_openmetrics,
+)
 from repro.obs.sink import CollectorSink, TeeSink
 from repro.obs.spans import (
     SpanBuilder,
@@ -256,6 +260,18 @@ class TestStallAttribution:
         assert parse_openmetrics(text) == parse_openmetrics(
             to_openmetrics(att.registry)
         )
+
+    def test_openmetrics_render_byte_identical_with_exemplars(self):
+        # Capture exemplars during the parse and feed them back into the
+        # renderer: the output must reproduce the exporter's exposition
+        # byte for byte, exemplar annotations included.
+        att, _ = self._run()
+        text = to_openmetrics(att.registry, exemplars=att.exemplars())
+        assert " # {" in text
+        captured: dict = {}
+        families = parse_openmetrics(text, captured)
+        assert captured  # the exemplar lines were actually captured
+        assert render_openmetrics(families, captured) == text
 
     def test_deterministic(self):
         a, ra = self._run()
